@@ -1,0 +1,160 @@
+// A1/A2/A3 — ablations of design choices the paper discusses:
+//
+// A1 (§IV-B2): the sampling period is user-adjustable; finer periods give
+//     more detail but produce larger traces. Sweep it and report trace
+//     size vs. flush perturbation.
+// A2 (§IV-B1): the trace buffer is flushed to external memory when nearly
+//     full. Sweep the buffer depth and report flush bursts and the cycle
+//     perturbation of the application.
+// A3 (§III-B): Nymble-MT's thread reordering lets fast threads overtake
+//     slow ones at variable-latency stages; with reordering disabled the
+//     accelerator degenerates to plain C-slow interleaving. Compare area.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/hlsprof.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/reference.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+core::RunResult run_gemm(const hls::Design& design, int dim,
+                         const core::RunOptions& opts) {
+  core::Session session(design, opts);
+  auto a = workloads::random_matrix(dim, 7);
+  auto b = workloads::random_matrix(dim, 8);
+  std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
+  session.sim().bind_f32("A", a);
+  session.sim().bind_f32("B", b);
+  session.sim().bind_f32("C", c);
+  return session.run();
+}
+
+void ablation_sampling_period(int dim) {
+  workloads::GemmConfig cfg;
+  cfg.dim = dim;
+  hls::Design design = core::compile(workloads::gemm_vectorized(cfg));
+
+  core::RunOptions base;
+  base.enable_profiling = false;
+  const cycle_t clean = run_gemm(design, dim, base).sim.kernel_cycles;
+
+  std::printf("\n=== A1: sampling-period sweep (vectorized GEMM %dx%d; "
+              "unprofiled run = %s cycles) ===\n",
+              dim, dim, with_commas(clean).c_str());
+  std::printf("%-10s %12s %14s %12s %14s\n", "period", "trace B",
+              "event records", "flushes", "perturbation");
+  for (cycle_t period : {512u, 2048u, 8192u, 32768u, 131072u}) {
+    core::RunOptions opts;
+    opts.profiling.sampling_period = period;
+    core::RunResult r = run_gemm(design, dim, opts);
+    std::printf("%-10llu %12zu %14lld %12lld %13.3f%%\n",
+                (unsigned long long)period, r.trace_bytes, r.event_records,
+                r.flush_bursts,
+                100.0 * (double(r.sim.kernel_cycles) - double(clean)) /
+                    double(clean));
+  }
+  std::printf("paper: the higher the period, the more data is produced "
+              "(we report the full trade-off)\n");
+}
+
+void ablation_buffer_depth(int dim) {
+  workloads::GemmConfig cfg;
+  cfg.dim = dim;
+  hls::Design design = core::compile(workloads::gemm_naive(cfg));
+  core::RunOptions base;
+  base.enable_profiling = false;
+  const cycle_t clean = run_gemm(design, dim, base).sim.kernel_cycles;
+
+  std::printf("\n=== A2: trace-buffer depth sweep (naive GEMM %dx%d) ===\n",
+              dim, dim);
+  std::printf("%-14s %12s %14s\n", "buffer lines", "flushes",
+              "perturbation");
+  for (int lines : {8, 16, 64, 256, 1024}) {
+    core::RunOptions opts;
+    opts.profiling.buffer_lines = lines;
+    core::RunResult r = run_gemm(design, dim, opts);
+    std::printf("%-14d %12lld %13.3f%%\n", lines, r.flush_bursts,
+                100.0 * (double(r.sim.kernel_cycles) - double(clean)) /
+                    double(clean));
+  }
+}
+
+void ablation_thread_reordering() {
+  std::printf("\n=== A3: Nymble-MT thread reordering vs. plain C-slow ===\n");
+  std::printf("%-14s %12s %12s %12s %18s\n", "reordering", "ALMs",
+              "BRAM bits", "fmax (MHz)", "kernel cycles");
+  for (bool reorder : {true, false}) {
+    workloads::GemmConfig cfg;
+    cfg.dim = 64;
+    hls::HlsOptions hopts;
+    hopts.thread_reordering = reorder;
+    hls::Design d = hls::compile(workloads::gemm_vectorized(cfg), hopts);
+    core::RunOptions ropts;
+    ropts.enable_profiling = false;
+    const auto r = run_gemm(d, cfg.dim, ropts);
+    std::printf("%-14s %12.0f %12.0f %12.1f %18s\n", reorder ? "on" : "off",
+                d.area.alm, d.area.bram_bits, d.fmax_mhz,
+                with_commas(r.sim.kernel_cycles).c_str());
+  }
+  std::printf("reordering costs context storage (BRAM) and HTS logic per "
+              "VLO stage, but lets fast threads overtake stalled ones "
+              "(paper §III-B)\n");
+}
+
+void ablation_preloader() {
+  // A4: tile loads through the preloader DMA (paper Fig. 1's block, which
+  // the paper describes but does not evaluate separately) vs element-wise
+  // loads through the thread's blocking port.
+  std::printf("\n=== A4: blocked GEMM, thread-port loads vs preloader DMA "
+              "===\n");
+  std::printf("%-24s %16s %10s\n", "tile-load path", "kernel cycles",
+              "speedup");
+  workloads::GemmConfig cfg;
+  cfg.dim = 64;
+  core::RunOptions opts;
+  opts.sim.host.thread_start_interval = 100;
+  opts.enable_profiling = false;
+  cycle_t base = 0;
+  for (bool preload : {false, true}) {
+    hls::Design d = core::compile(preload ? workloads::gemm_preloaded(cfg)
+                                          : workloads::gemm_blocked(cfg));
+    const auto r = run_gemm(d, cfg.dim, opts);
+    if (base == 0) base = r.sim.kernel_cycles;
+    std::printf("%-24s %16s %9.2fx\n",
+                preload ? "preloader DMA" : "thread-port loads",
+                with_commas(r.sim.kernel_cycles).c_str(),
+                double(base) / double(r.sim.kernel_cycles));
+  }
+}
+
+void BM_profiled_vs_clean(benchmark::State& state) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  hls::Design design = core::compile(workloads::gemm_naive(cfg));
+  const bool profiled = state.range(0) != 0;
+  for (auto _ : state) {
+    core::RunOptions opts;
+    opts.enable_profiling = profiled;
+    auto r = run_gemm(design, cfg.dim, opts);
+    benchmark::DoNotOptimize(r.sim.kernel_cycles);
+  }
+}
+BENCHMARK(BM_profiled_vs_clean)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablation_sampling_period(96);
+  ablation_buffer_depth(64);
+  ablation_thread_reordering();
+  ablation_preloader();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

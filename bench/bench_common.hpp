@@ -1,0 +1,32 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hlsprof::benchutil {
+
+/// Extract `--<name>=<int>` from argv (removing it so google-benchmark
+/// does not reject it); falls back to env var `env`, then `fallback`.
+inline int int_flag(int* argc, char** argv, const char* name, const char* env,
+                    int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  int out = fallback;
+  if (env != nullptr) {
+    if (const char* e = std::getenv(env)) out = std::atoi(e);
+  }
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      out = std::atoi(argv[i] + prefix.size());
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return out;
+}
+
+}  // namespace hlsprof::benchutil

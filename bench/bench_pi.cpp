@@ -1,0 +1,94 @@
+// E7 — reproduces the paper's pi case study (§V-D, Figs. 11-13).
+//
+// Paper: 1M iterations -> 0.146 GFLOP/s (the software's sequential thread
+// starts dominate; the earliest threads finish before the last ones have
+// started); 4M -> 0.556 GFLOP/s; 10M -> 1.507 GFLOP/s. Projecting to 15e9
+// iterations (numerically unstable in f32, so projected — as in the
+// paper) gives 36.84 GFLOP/s.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/hlsprof.hpp"
+#include "paraver/analysis.hpp"
+#include "workloads/pi.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+void run_study() {
+  std::printf("\n=== E7: pi scaling study (8 threads, 16-lane unroll) ===\n");
+  std::printf("%-14s %16s %12s %12s %14s %10s\n", "iterations", "cycles",
+              "GFLOP/s", "paper", "first-done", "last-start");
+
+  const struct {
+    std::int64_t steps;
+    double paper;
+  } points[] = {{1000000, 0.146}, {4000000, 0.556}, {10000000, 1.507}};
+
+  for (const auto& pt : points) {
+    workloads::PiConfig cfg;
+    cfg.steps = pt.steps;
+    hls::Design design = core::compile(workloads::pi_series(cfg));
+    core::Session session(design);
+    std::vector<float> out(1, 0.0f);
+    session.sim().bind_f32("out", out);
+    session.sim().set_arg("steps", pt.steps);
+    session.sim().set_arg("inv_steps", 1.0 / double(pt.steps));
+    core::RunResult r = session.run();
+
+    const double gf = paraver::gflops(r.sim.total_fp_ops(),
+                                      r.sim.total_cycles, design.fmax_mhz);
+    cycle_t first_done = ~cycle_t{0};
+    cycle_t last_start = 0;
+    for (const auto& t : r.sim.threads) {
+      first_done = std::min(first_done, t.end);
+      last_start = std::max(last_start, t.start);
+    }
+    std::printf("%-14lld %16llu %12.3f %12.3f %14llu %10llu%s\n",
+                (long long)pt.steps,
+                (unsigned long long)r.sim.total_cycles, gf, pt.paper,
+                (unsigned long long)first_done,
+                (unsigned long long)last_start,
+                first_done < last_start
+                    ? "  <- earliest thread done before last started"
+                    : "");
+  }
+
+  workloads::PiConfig big;
+  big.steps = 15000000000LL;
+  hls::Design d =
+      core::compile(workloads::pi_series(workloads::PiConfig{}));
+  const double peak =
+      workloads::pi_peak_gflops(big, d.loop(0).rec_ii, 6, d.fmax_mhz);
+  std::printf("%-14s %16s %12.2f %12.2f   (projected, as in the paper)\n",
+              "15e9", "-", peak, 36.84);
+}
+
+void BM_pi_sim(benchmark::State& state) {
+  workloads::PiConfig cfg;
+  cfg.steps = state.range(0);
+  hls::Design design = core::compile(workloads::pi_series(cfg));
+  for (auto _ : state) {
+    core::Session session(design);
+    std::vector<float> out(1, 0.0f);
+    session.sim().bind_f32("out", out);
+    session.sim().set_arg("steps", cfg.steps);
+    session.sim().set_arg("inv_steps", 1.0 / double(cfg.steps));
+    auto r = session.run();
+    benchmark::DoNotOptimize(r.sim.total_cycles);
+  }
+}
+BENCHMARK(BM_pi_sim)->Arg(1000000)->Arg(4000000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

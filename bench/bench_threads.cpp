@@ -1,0 +1,90 @@
+// E8 — reproduces the paper's §V-A observation: "More than eight threads
+// in a single accelerator did not increase the performance further,
+// because at this point all computing resources are filled. Adding more
+// threads only increases congestion."
+//
+// Sweeps the hardware-thread count for the vectorized GEMM and reports
+// kernel cycles and external-memory congestion.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "core/hlsprof.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/reference.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+void run_study(int dim) {
+  std::printf("\n=== E8: thread-count sweep, vectorized GEMM %dx%d ===\n",
+              dim, dim);
+  std::printf("%-8s %16s %10s %14s %12s\n", "threads", "kernel cycles",
+              "speedup", "stall cycles", "row-hit rate");
+
+  const auto a = workloads::random_matrix(dim, 5);
+  const auto b = workloads::random_matrix(dim, 6);
+  double base = 0;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    workloads::GemmConfig cfg;
+    cfg.dim = dim;
+    cfg.threads = threads;
+    hls::Design design = core::compile(workloads::gemm_vectorized(cfg));
+    core::RunOptions opts;
+    opts.enable_profiling = false;
+    core::Session session(design, opts);
+    std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
+    auto ac = a;
+    auto bc = b;
+    session.sim().bind_f32("A", ac);
+    session.sim().bind_f32("B", bc);
+    session.sim().bind_f32("C", c);
+    core::RunResult r = session.run();
+    if (base == 0) base = double(r.sim.kernel_cycles);
+    std::printf("%-8d %16s %9.2fx %14s %11.1f%%\n", threads,
+                with_commas(r.sim.kernel_cycles).c_str(),
+                base / double(r.sim.kernel_cycles),
+                with_commas(cycle_t(r.sim.total_stall_cycles())).c_str(),
+                100 * r.sim.row_hit_rate);
+  }
+  std::printf("paper: performance saturates at 8 threads; more threads only "
+              "add congestion\n");
+}
+
+void BM_thread_sweep(benchmark::State& state) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  cfg.threads = int(state.range(0));
+  const auto a = workloads::random_matrix(cfg.dim, 5);
+  const auto b = workloads::random_matrix(cfg.dim, 6);
+  hls::Design design = core::compile(workloads::gemm_vectorized(cfg));
+  for (auto _ : state) {
+    core::RunOptions opts;
+    opts.enable_profiling = false;
+    core::Session session(design, opts);
+    std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+    auto ac = a;
+    auto bc = b;
+    session.sim().bind_f32("A", ac);
+    session.sim().bind_f32("B", bc);
+    session.sim().bind_f32("C", c);
+    auto r = session.run();
+    state.counters["sim_cycles"] = double(r.sim.kernel_cycles);
+  }
+}
+BENCHMARK(BM_thread_sweep)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int dim =
+      benchutil::int_flag(&argc, argv, "dim", "HLSPROF_THREADS_DIM", 128);
+  run_study(dim);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

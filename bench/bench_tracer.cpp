@@ -1,0 +1,102 @@
+// Micro-benchmarks of the tracing substrate itself: record encode/decode
+// throughput, Paraver emission, and timeline reconstruction. These bound
+// the host-side post-processing cost of the toolchain (the paper's flow
+// decodes multi-GB traces offline).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "paraver/reader.hpp"
+#include "paraver/writer.hpp"
+#include "trace/records.hpp"
+#include "trace/timed_trace.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+void BM_encode_state_records(benchmark::State& state) {
+  const int threads = int(state.range(0));
+  std::vector<std::uint8_t> states(std::size_t(threads), 1);
+  for (auto _ : state) {
+    trace::LineEncoder enc(threads);
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+      states[i % states.size()] ^= 0x2;  // toggle a state bit
+      enc.append_state(i * 10, states);
+    }
+    auto lines = enc.take_lines();
+    benchmark::DoNotOptimize(lines.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_encode_state_records)->Arg(8)->Arg(32);
+
+void BM_decode_lines(benchmark::State& state) {
+  const int threads = 8;
+  trace::LineEncoder enc(threads);
+  std::vector<std::uint8_t> states(std::size_t(threads), 1);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    enc.append_state(i * 7, states);
+    trace::EventRecord er;
+    er.kind = trace::EventKind::fp_ops;
+    er.thread = std::uint8_t(i % 8);
+    er.clock32 = i * 7;
+    er.value = i;
+    enc.append_event(er);
+  }
+  const auto lines = enc.take_lines();
+  for (auto _ : state) {
+    auto decoded = trace::decode_lines(lines.data(), lines.size(), threads);
+    benchmark::DoNotOptimize(decoded.states.size());
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(lines.size()));
+}
+BENCHMARK(BM_decode_lines);
+
+trace::TimedTrace synth_trace(int threads, int intervals) {
+  trace::DecodedTrace d;
+  std::vector<std::uint8_t> cur(std::size_t(threads), 0);
+  for (int i = 0; i < intervals; ++i) {
+    cur[std::size_t(i % threads)] ^= 1;
+    trace::StateRecord r;
+    r.clock32 = std::uint32_t(i) * 100;
+    r.states = cur;
+    d.state_clocks.push_back(cycle_t(i) * 100);
+    d.states.push_back(std::move(r));
+  }
+  return trace::build_timed_trace(d, threads, cycle_t(intervals) * 100, 0);
+}
+
+void BM_build_timeline(benchmark::State& state) {
+  trace::DecodedTrace d;
+  const int threads = 8;
+  std::vector<std::uint8_t> cur(std::size_t(threads), 0);
+  for (int i = 0; i < 20000; ++i) {
+    cur[std::size_t(i % threads)] ^= 1;
+    trace::StateRecord r;
+    r.clock32 = std::uint32_t(i) * 100;
+    r.states = cur;
+    d.state_clocks.push_back(cycle_t(i) * 100);
+    d.states.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    auto t = trace::build_timed_trace(d, threads, 2000000, 0);
+    benchmark::DoNotOptimize(t.duration);
+  }
+}
+BENCHMARK(BM_build_timeline);
+
+void BM_paraver_roundtrip(benchmark::State& state) {
+  const auto t = synth_trace(8, 5000);
+  for (auto _ : state) {
+    const auto files = paraver::to_paraver(t, "bench");
+    const auto parsed = paraver::parse_prv(files.prv);
+    benchmark::DoNotOptimize(parsed.trace.duration);
+  }
+}
+BENCHMARK(BM_paraver_roundtrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// The paper's GEMM case study (§V-C), end to end: all five optimization
+// steps are compiled, run on the simulated accelerator with profiling, and
+// analyzed the way the paper reads its Paraver views — cycle counts and
+// speedups, state percentages (Fig. 6), bandwidth-over-time curves
+// (Fig. 7), and the load/compute phase structure (Figs. 8/9). Each version
+// also emits a loadable Paraver trace.
+//
+//   $ ./gemm_case_study [dim] [out_dir]
+//
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "core/hlsprof.hpp"
+#include "paraver/analysis.hpp"
+#include "paraver/ascii.hpp"
+#include "paraver/writer.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/reference.hpp"
+
+using namespace hlsprof;
+
+int main(int argc, char** argv) {
+  workloads::GemmConfig cfg;
+  cfg.dim = argc > 1 ? std::atoi(argv[1]) : 128;
+  const std::string out_dir = argc > 2 ? argv[2] : ".";
+
+  const auto a = workloads::random_matrix(cfg.dim, 11);
+  const auto b = workloads::random_matrix(cfg.dim, 22);
+  const auto ref = workloads::gemm_reference(a, b, cfg.dim);
+
+  std::printf("GEMM case study, %dx%d, %d threads\n", cfg.dim, cfg.dim,
+              cfg.threads);
+  cycle_t baseline = 0;
+  cycle_t previous = 0;
+  for (const auto& version : workloads::gemm_versions()) {
+    hls::Design design = core::compile(version.build(cfg));
+
+    core::Session session(design);
+    std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+    auto a_copy = a;  // map(to) buffers are const to the device but the
+    auto b_copy = b;  // binding API takes mutable spans
+    session.sim().bind_f32("A", a_copy);
+    session.sim().bind_f32("B", b_copy);
+    session.sim().bind_f32("C", c);
+    core::RunResult r = session.run();
+
+    const double err = workloads::max_rel_error(c, ref);
+    const auto st = paraver::summarize_states(r.timeline);
+    const double bw = paraver::mean_bandwidth(r.timeline);
+    std::printf(
+        "\n== %-22s %12llu cycles  (%5.2fx vs naive, %5.2fx vs prev)\n",
+        version.name.c_str(), (unsigned long long)r.sim.kernel_cycles,
+        baseline ? double(baseline) / double(r.sim.kernel_cycles) : 1.0,
+        previous ? double(previous) / double(r.sim.kernel_cycles) : 1.0);
+    std::printf("   max rel err %.2e | critical %5.2f%% spinning %5.2f%% "
+                "running %5.2f%%\n",
+                err, 100 * st.critical, 100 * st.spinning, 100 * st.running);
+    std::printf("   ext bandwidth: mean %.3f B/cyc (%.2f GB/s at %.0f MHz), "
+                "stalls %llu\n",
+                bw, paraver::bytes_per_cycle_to_gbs(bw, design.fmax_mhz),
+                design.fmax_mhz,
+                (unsigned long long)r.sim.total_stall_cycles());
+    const auto rd = paraver::rate_series(r.timeline,
+                                         trace::EventKind::bytes_read);
+    std::printf("   read-BW curve %s\n",
+                paraver::sparkline(rd, 60).c_str());
+    const auto phases = paraver::phase_profile(r.timeline);
+    std::printf("   phases: %d windows, overlap %.0f%% (mem-only %d, "
+                "compute-only %d)\n",
+                phases.windows, 100 * phases.overlap_fraction(),
+                phases.mem_only, phases.compute_only);
+
+    // The paper's manual trace-reading, automated (its future-work PGO):
+    const auto report = advisor::analyze(design, r.sim, r.timeline);
+    for (const auto& f : report.findings) {
+      std::printf("   advisor: %-24s -> %s\n",
+                  advisor::diagnosis_name(f.kind),
+                  f.recommendation.substr(0, 80).c_str());
+    }
+
+    std::string base = out_dir + "/gemm_" + std::to_string(cfg.dim) + "_v";
+    base += version.name[0];  // crude but unique per version order
+    paraver::write_paraver(r.timeline, version.name, base);
+
+    if (baseline == 0) baseline = r.sim.kernel_cycles;
+    previous = r.sim.kernel_cycles;
+    if (err > 1e-2) {
+      std::fprintf(stderr, "FAILED: wrong result for %s\n",
+                   version.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

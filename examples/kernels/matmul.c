@@ -1,0 +1,20 @@
+/* The paper's Fig. 3 kernel, accepted verbatim by the textual frontend
+ * (one fix: the partial sums are accumulated, not overwritten, so the
+ * result is well-defined). Compile with omp_source and -DDIM=<n>. */
+void matmul(float* A, float* B, float* C, int DIM) {
+  #pragma omp target parallel map(to: A[0:DIM*DIM], B[0:DIM*DIM]) map(tofrom: C[0:DIM*DIM]) num_threads(8)
+  {
+    int my_id = omp_get_thread_num();
+    int num_threads = omp_get_num_threads();
+    for (int i = 0; i < DIM; i++) {
+      for (int j = 0; j < DIM; j++) {
+        float sum = 0.0f;
+        for (int k = my_id; k < DIM; k += num_threads) {
+          sum += A[i * DIM + k] * B[k * DIM + j];
+        }
+        #pragma omp critical
+        { C[i * DIM + j] += sum; }
+      }
+    }
+  }
+}

@@ -1,0 +1,64 @@
+// Third domain application: 2D Jacobi relaxation — the stencil workload
+// class the paper's introduction cites as a driver for FPGA+HLS in HPC
+// (Zohouri et al. [3]). Shows barrier-synchronized ping-pong sweeps in the
+// Paraver state view (threads spin at the barrier while stragglers finish
+// their rows) and runs the advisor on the trace.
+//
+//   $ ./stencil_case_study [n] [iters] [out_dir]
+//
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "advisor/advisor.hpp"
+#include "core/hlsprof.hpp"
+#include "paraver/analysis.hpp"
+#include "paraver/ascii.hpp"
+#include "paraver/writer.hpp"
+#include "workloads/reference.hpp"
+#include "workloads/simple.hpp"
+
+using namespace hlsprof;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 96;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::string out_dir = argc > 3 ? argv[3] : ".";
+  if (iters % 2 != 0) {
+    std::fprintf(stderr, "iters must be even (result lands in 'u')\n");
+    return 2;
+  }
+
+  hls::Design design = core::compile(workloads::jacobi2d(n, iters, 8));
+  core::Session session(design);
+  auto u = workloads::random_vector(std::int64_t(n) * n, 77, 0.0f, 1.0f);
+  const auto ref = workloads::jacobi2d_reference(u, n, iters);
+  session.sim().bind_f32("u", u);
+  core::RunResult r = session.run();
+
+  const double err = workloads::max_rel_error(u, ref);
+  std::printf("jacobi2d %dx%d, %d sweeps, 8 threads: %llu kernel cycles, "
+              "max rel err %.2e\n",
+              n, n, iters, (unsigned long long)r.sim.kernel_cycles, err);
+  const auto st = paraver::summarize_states(r.timeline);
+  std::printf("states: running %.1f%%  spinning(barrier) %.1f%%  "
+              "idle %.1f%%\n",
+              100 * st.running, 100 * st.spinning, 100 * st.idle);
+  std::printf("%s", paraver::render_state_view(r.timeline).c_str());
+
+  const auto hist = paraver::state_duration_histogram(
+      r.timeline, sim::ThreadState::spinning);
+  std::printf("barrier-wait durations: %lld intervals, %llu cycles total "
+              "(min %llu, max %llu)\n",
+              hist.total_intervals,
+              (unsigned long long)hist.total_cycles,
+              (unsigned long long)hist.min_duration,
+              (unsigned long long)hist.max_duration);
+
+  std::printf("%s", advisor::analyze(design, r.sim, r.timeline)
+                        .to_text()
+                        .c_str());
+  paraver::write_paraver(r.timeline, "jacobi2d", out_dir + "/jacobi2d");
+  std::printf("wrote %s/jacobi2d.{prv,pcf,row}\n", out_dir.c_str());
+  return err < 1e-3 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Inspect a Paraver trace produced by this toolchain (or hand-written in
+// the same subset): prints the state summary, the ASCII state view, and
+// the sampled-counter curves — a terminal substitute for the Paraver GUI.
+//
+//   $ ./trace_inspect <file.prv> [--color]
+//
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "paraver/analysis.hpp"
+#include "paraver/ascii.hpp"
+#include "paraver/reader.hpp"
+
+using namespace hlsprof;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.prv> [--color]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const bool color = argc > 2 && std::strcmp(argv[2], "--color") == 0;
+
+  paraver::ParseResult parsed;
+  try {
+    parsed = paraver::read_prv_file(path);
+  } catch (const hlsprof::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const trace::TimedTrace& t = parsed.trace;
+
+  std::printf("%s: %d hardware threads, %llu cycles", path.c_str(),
+              t.num_threads, (unsigned long long)t.duration);
+  if (parsed.comm_records > 0) {
+    std::printf(", %lld communication records (ignored)",
+                parsed.comm_records);
+  }
+  std::printf("\n\n");
+
+  const auto s = paraver::summarize_states(t);
+  std::printf("state summary:  running %5.2f%%  idle %5.2f%%  "
+              "critical %5.2f%%  spinning %5.2f%%\n",
+              100 * s.running, 100 * s.idle, 100 * s.critical,
+              100 * s.spinning);
+  for (int th = 0; th < t.num_threads; ++th) {
+    std::printf("  T%-2d running %5.2f%%  spinning %5.2f%%\n", th,
+                100 * t.state_fraction(thread_id_t(th),
+                                       sim::ThreadState::running),
+                100 * t.state_fraction(thread_id_t(th),
+                                       sim::ThreadState::spinning));
+  }
+
+  std::printf("\nstate view:\n%s",
+              paraver::render_state_view(
+                  t, paraver::AsciiOptions{.width = 100, .color = color})
+                  .c_str());
+
+  if (t.sampling_period > 0) {
+    std::printf("\nsampled counters (window = %llu cycles):\n",
+                (unsigned long long)t.sampling_period);
+    const struct {
+      trace::EventKind kind;
+      const char* label;
+    } kinds[] = {
+        {trace::EventKind::bytes_read, "bytes read   "},
+        {trace::EventKind::bytes_written, "bytes written"},
+        {trace::EventKind::fp_ops, "FP ops       "},
+        {trace::EventKind::int_ops, "int ops      "},
+        {trace::EventKind::stall_cycles, "stall cycles "},
+    };
+    for (const auto& k : kinds) {
+      const auto series = paraver::rate_series(t, k.kind);
+      if (t.event_total(k.kind) == 0) continue;
+      std::printf("  %s %s  total=%llu\n", k.label,
+                  paraver::sparkline(series, 64).c_str(),
+                  (unsigned long long)t.event_total(k.kind));
+    }
+    std::printf("  mean ext. bandwidth: %.3f bytes/cycle, peak %.3f\n",
+                paraver::mean_bandwidth(t), paraver::peak_bandwidth(t));
+  } else {
+    std::printf("\n(no sampled-counter events in this trace)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Profile-guided optimization advisor — the direction the paper's
+// conclusion sketches ("evaluate how the collected traces can be used for
+// profile-guided optimization in the HLS compiler"). Takes the compiled
+// design, the run statistics, and the reconstructed timeline and produces
+// ranked findings with concrete source-level recommendations — the same
+// reasoning steps the paper walks through manually in §V-C/§V-D.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/design.hpp"
+#include "sim/simulator.hpp"
+#include "trace/timed_trace.hpp"
+
+namespace hlsprof::advisor {
+
+enum class Diagnosis : std::uint8_t {
+  start_overhead,        // §V-D: software thread starts dominate
+  critical_serialization,  // §V-C v1 -> v2: lock-limited parallelism
+  memory_latency_bound,  // §V-C v2 -> v3: narrow accesses expose latency
+  phase_separation,      // §V-C v4 -> v5: loads and compute alternate
+  load_imbalance,        // threads finish at very different times
+  compute_bound,         // datapath saturated; the good case
+};
+
+const char* diagnosis_name(Diagnosis d);
+
+struct Finding {
+  Diagnosis kind;
+  /// 0..1 — how strongly the evidence supports the diagnosis (findings
+  /// are reported sorted by severity, strongest first).
+  double severity = 0.0;
+  /// The measured quantity the diagnosis rests on, human-readable.
+  std::string evidence;
+  /// What the paper's methodology would do about it.
+  std::string recommendation;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted, most severe first
+
+  bool has(Diagnosis d) const;
+  const Finding* find(Diagnosis d) const;
+  /// Multi-line human-readable rendition.
+  std::string to_text() const;
+};
+
+/// Thresholds of the heuristics (exposed for tests and tuning).
+struct AdvisorOptions {
+  double start_overhead_fraction = 0.25;   // stagger / kernel time
+  double critical_fraction = 0.01;         // (critical+spin) state share
+  double stall_fraction = 0.25;            // stalls / busy thread-cycles
+  double overlap_threshold = 0.30;         // FLOPs-under-mem below this
+  double imbalance_ratio = 1.5;            // max/min per-thread busy time
+};
+
+/// Analyze one profiled run. The timeline must carry event samples
+/// (profiling with events enabled); throws hlsprof::Error otherwise.
+Report analyze(const hls::Design& design, const sim::SimResult& result,
+               const trace::TimedTrace& timeline,
+               const AdvisorOptions& options = AdvisorOptions{});
+
+}  // namespace hlsprof::advisor

@@ -1,0 +1,32 @@
+// Error handling: a single exception type plus check macros used for
+// precondition/invariant enforcement throughout the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hlsprof {
+
+/// Exception thrown on violated preconditions, malformed IR, or invalid
+/// configuration. API functions document which conditions raise it.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& message) {
+  throw Error(message);
+}
+
+}  // namespace hlsprof
+
+/// Precondition / invariant check. Active in all build types: the toolchain
+/// is a compiler+simulator, so silent corruption is worse than the branch.
+#define HLSPROF_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hlsprof::fail(std::string("check failed: ") + #cond + " — " +    \
+                      (msg) + " (" + __FILE__ + ":" +                     \
+                      std::to_string(__LINE__) + ")");                    \
+    }                                                                     \
+  } while (false)

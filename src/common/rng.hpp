@@ -1,0 +1,38 @@
+// Deterministic RNG (SplitMix64) used by tests and workload generators.
+// We avoid std::mt19937's size and keep streams reproducible across
+// platforms; simulation itself is fully deterministic and uses no RNG.
+#pragma once
+
+#include <cstdint>
+
+namespace hlsprof {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + float(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hlsprof

@@ -1,0 +1,29 @@
+// printf-style string formatting (g++ 12 lacks std::format) plus small
+// text helpers used by the trace writers and report printers.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace hlsprof {
+
+/// snprintf into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Split on a single-character separator; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Format a large integer with thousands separators: 853522308 -> "853,522,308".
+std::string with_commas(unsigned long long v);
+
+}  // namespace hlsprof

@@ -1,0 +1,22 @@
+// Fundamental scalar type aliases shared across the HLSProf toolchain.
+#pragma once
+
+#include <cstdint>
+
+namespace hlsprof {
+
+/// Accelerator clock cycle index. All simulator timestamps are cycles of the
+/// accelerator clock domain; the Paraver layer converts to "time" only at
+/// trace-emission (the paper notes Paraver has no cycle notion and uses
+/// microsecond fields to carry cycle counts).
+using cycle_t = std::uint64_t;
+
+/// Byte address in the accelerator's external (DRAM) address space.
+using addr_t = std::uint64_t;
+
+/// Hardware thread index inside one compute unit.
+using thread_id_t = std::uint32_t;
+
+inline constexpr cycle_t kNoCycle = ~cycle_t{0};
+
+}  // namespace hlsprof

@@ -1,0 +1,107 @@
+// HLSProf public API façade: compile a kernel, run it with or without the
+// embedded profiling unit, and get back cycle counts plus the decoded
+// Paraver-ready timeline. Everything underneath (IR builder, HLS
+// scheduler, simulator, tracer, Paraver writers) is also public for
+// advanced use; this header is the 90% path.
+//
+//   ir::Kernel k = workloads::gemm_naive(cfg);
+//   core::Session s(core::compile(std::move(k)));
+//   s.sim().bind_f32("A", a); ... s.sim().set_arg("DIM", 512);
+//   core::RunResult r = s.run();
+//   paraver::write_paraver(r.timeline, "gemm", "out/gemm_v1");
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "hls/compiler.hpp"
+#include "hls/design.hpp"
+#include "profiling/config.hpp"
+#include "profiling/overhead.hpp"
+#include "profiling/unit.hpp"
+#include "sim/simulator.hpp"
+#include "trace/timed_trace.hpp"
+
+namespace hlsprof::core {
+
+/// Compile a kernel into an accelerator design (see hls::compile).
+inline hls::Design compile(ir::Kernel k,
+                           const hls::HlsOptions& opts = hls::HlsOptions{}) {
+  return hls::compile(std::move(k), opts);
+}
+
+struct RunOptions {
+  sim::SimParams sim;
+  profiling::ProfilingConfig profiling;
+  bool enable_profiling = true;
+  std::size_t mem_capacity = std::size_t{64} << 20;
+};
+
+struct RunResult {
+  sim::SimResult sim;
+  /// Reconstructed timeline decoded from the simulated DRAM trace region;
+  /// empty (num_threads == 0) when profiling was disabled.
+  trace::TimedTrace timeline;
+  bool has_trace = false;
+  // Tracer statistics (zero when profiling was disabled).
+  long long state_records = 0;
+  long long event_records = 0;
+  long long flush_bursts = 0;
+  std::size_t trace_bytes = 0;
+};
+
+/// One kernel launch: owns the simulator and (optionally) the profiling
+/// unit wired into it.
+class Session {
+ public:
+  explicit Session(const hls::Design& design, RunOptions opts = RunOptions{})
+      : design_(design),
+        opts_(opts),
+        sim_(design, opts.sim, opts.mem_capacity) {
+    if (opts_.enable_profiling) {
+      unit_ = std::make_unique<profiling::ProfilingUnit>(
+          design_, opts_.profiling, sim_.memory());
+    }
+  }
+
+  /// Bind buffers / scalar args here before run().
+  sim::Simulator& sim() { return sim_; }
+  const hls::Design& design() const { return design_; }
+  const profiling::ProfilingUnit* unit() const { return unit_.get(); }
+
+  RunResult run() {
+    RunResult r;
+    r.sim = sim_.run(unit_.get());
+    if (unit_ != nullptr) {
+      r.timeline = unit_->timeline();
+      r.has_trace = true;
+      // Extension beyond the paper (its multi-FPGA future work, first
+      // step): host<->device map() transfers become Paraver communication
+      // records anchored on thread 0.
+      for (const sim::HostTransfer& t : r.sim.transfers) {
+        r.timeline.comms.push_back(trace::CommRecord{
+            0, t.begin, t.end, t.bytes,
+            t.to_device ? trace::kCommTagToDevice
+                        : trace::kCommTagFromDevice});
+      }
+      r.state_records = unit_->state_records();
+      r.event_records = unit_->event_records();
+      r.flush_bursts = unit_->flush_bursts();
+      r.trace_bytes = unit_->trace_bytes_written();
+    }
+    return r;
+  }
+
+  /// Hardware cost of the profiling configuration on this design.
+  profiling::ProfilingOverhead overhead() const {
+    return profiling::estimate_overhead(design_, opts_.profiling);
+  }
+
+ private:
+  const hls::Design& design_;
+  RunOptions opts_;
+  sim::Simulator sim_;
+  std::unique_ptr<profiling::ProfilingUnit> unit_;
+};
+
+}  // namespace hlsprof::core

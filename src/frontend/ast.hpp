@@ -1,0 +1,136 @@
+// AST of the OpenMP-C subset. The tree is deliberately small: the
+// frontend's job is to map source constructs 1:1 onto the kernel IR
+// (loops, ifs, critical sections, barriers, loads/stores, vars), exactly
+// the constructs the paper's OpenMP frontend maps onto Nymble's IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hlsprof::frontend::ast {
+
+// ---- expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit {
+  std::int64_t value = 0;
+};
+struct FloatLit {
+  double value = 0.0;
+};
+struct VarRef {
+  std::string name;
+};
+/// A[index] — load from a pointer parameter or a local array.
+struct Index {
+  std::string array;
+  ExprPtr index;
+};
+/// omp_get_thread_num() / omp_get_num_threads().
+struct Call {
+  std::string callee;
+};
+struct Unary {
+  char op = '-';  // '-' or '!'
+  ExprPtr operand;
+};
+struct Binary {
+  std::string op;  // + - * / % == != < <= > >= && ||
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Expr {
+  std::variant<IntLit, FloatLit, VarRef, Index, Call, Unary, Binary> node;
+  int line = 0;
+};
+
+// ---- statements -----------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `int x = e;` / `float x = e;` — a mutable scalar.
+struct DeclStmt {
+  std::string type;  // "int" or "float"
+  std::string name;
+  ExprPtr init;  // may be null (zero-initialized)
+};
+/// `float buf[N];` — a per-thread local (BRAM) array; N must fold to a
+/// constant.
+struct LocalArrayDecl {
+  std::string type;
+  std::string name;
+  ExprPtr size;
+};
+/// `x = e;` (also the desugared form of `x += e`, `x++`).
+struct AssignStmt {
+  std::string name;
+  ExprPtr value;
+};
+/// `A[i] = e;`
+struct StoreStmt {
+  std::string array;
+  ExprPtr index;
+  ExprPtr value;
+};
+/// `for (int i = e0; i < e1; i = i + e2) body` — also accepts `i <= e1`,
+/// `i += e2`, `i++`. `unroll` > 1 requests full unrolling by constant
+/// folding (requires foldable bounds), from `#pragma unroll N`.
+struct ForStmt {
+  std::string induction;
+  ExprPtr init;
+  ExprPtr bound;   // exclusive after normalization
+  ExprPtr step;
+  std::vector<StmtPtr> body;
+  int unroll = 1;
+  bool pipeline = true;  // cleared by `#pragma nymble nopipeline`
+};
+struct IfStmt {
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+/// `#pragma omp critical` { ... }
+struct CriticalStmt {
+  std::vector<StmtPtr> body;
+};
+/// `#pragma omp barrier`
+struct BarrierStmt {};
+
+struct Stmt {
+  std::variant<DeclStmt, LocalArrayDecl, AssignStmt, StoreStmt, ForStmt,
+               IfStmt, CriticalStmt, BarrierStmt>
+      node;
+  int line = 0;
+};
+
+// ---- top level -------------------------------------------------------------
+
+/// One map clause item: map(to: A[0:DIM*DIM]) — extent must fold to a
+/// constant given the frontend's constant bindings.
+struct MapItem {
+  std::string direction;  // to / from / tofrom / alloc
+  std::string name;
+  ExprPtr extent;
+};
+
+struct Param {
+  std::string type;  // "int", "float", "float*", "int*"
+  std::string name;
+};
+
+/// A function whose body is one `#pragma omp target parallel` region.
+struct KernelFn {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<MapItem> maps;
+  int num_threads = 1;
+  std::vector<StmtPtr> body;
+};
+
+}  // namespace hlsprof::frontend::ast

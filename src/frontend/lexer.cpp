@@ -1,0 +1,170 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::frontend {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space_and_comments();
+      Token t = next();
+      const bool done = t.kind == Tok::end_of_file;
+      out.push_back(std::move(t));
+      if (done) break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& msg) const {
+    fail(strf("lex error at %d:%d: %s", line_, col_, msg.c_str()));
+  }
+
+  bool eof() const { return i_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[i_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_space_and_comments() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!eof() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        const int start_line = line_;
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (eof()) {
+            fail(strf("lex error: unterminated comment starting at line %d",
+                      start_line));
+          }
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  Token next() {
+    if (eof()) return make(Tok::end_of_file);
+    Token t = make(Tok::punct);
+    const char c = peek();
+
+    if (c == '#') {
+      // Whole pragma line as one token.
+      std::string text;
+      while (!eof() && peek() != '\n') text.push_back(advance());
+      if (!starts_with(text, "#pragma")) error("unknown preprocessor line");
+      t.kind = Tok::pragma;
+      t.text = trim(text.substr(7));
+      return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_')) {
+        text.push_back(advance());
+      }
+      t.kind = Tok::identifier;
+      t.text = std::move(text);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string text;
+      bool is_float = false;
+      while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                        peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                        ((peek() == '+' || peek() == '-') &&
+                         (text.back() == 'e' || text.back() == 'E')))) {
+        if (peek() == '.' || peek() == 'e' || peek() == 'E') is_float = true;
+        text.push_back(advance());
+      }
+      if (peek() == 'f' || peek() == 'F') {
+        is_float = true;
+        advance();
+      }
+      try {
+        if (is_float) {
+          t.kind = Tok::float_literal;
+          t.float_value = std::stod(text);
+        } else {
+          t.kind = Tok::int_literal;
+          t.int_value = std::stoll(text);
+        }
+      } catch (const std::exception&) {
+        error("malformed numeric literal '" + text + "'");
+      }
+      t.text = std::move(text);
+      return t;
+    }
+
+    // Punctuation, longest-match first.
+    static const char* two_char[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                     "++", "--", "+=", "-=", "*=", "/="};
+    for (const char* op : two_char) {
+      if (c == op[0] && peek(1) == op[1]) {
+        advance();
+        advance();
+        t.text = op;
+        return t;
+      }
+    }
+    static const std::string one_char = "+-*/%=<>!()[]{},;:&";
+    if (one_char.find(c) != std::string::npos) {
+      advance();
+      t.text = std::string(1, c);
+      return t;
+    }
+    error(strf("stray character '%c'", c));
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace hlsprof::frontend

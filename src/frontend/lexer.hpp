@@ -1,0 +1,37 @@
+// Lexer for the OpenMP-C subset accepted by the textual frontend — the
+// source-level counterpart of the paper's Clang-based OpenMP 4.0 frontend
+// (§III-A). Tokenizes identifiers, integer/float literals, punctuation,
+// and whole `#pragma ...` lines (handed to the parser as single tokens).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlsprof::frontend {
+
+enum class Tok : std::uint8_t {
+  identifier,
+  int_literal,
+  float_literal,
+  pragma,     // text = full pragma line without '#pragma'
+  punct,      // text = one of the punctuation/operator spellings
+  end_of_file,
+};
+
+struct Token {
+  Tok kind = Tok::end_of_file;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenize a whole translation unit. Throws hlsprof::Error with
+/// line/column on malformed input (unterminated comments, bad numbers,
+/// stray characters). Supported operators:
+///   + - * / % = == != < <= > >= && || ! ( ) [ ] { } , ; ++ += -= *= &
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace hlsprof::frontend

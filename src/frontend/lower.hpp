@@ -1,0 +1,32 @@
+// Lowering from the OpenMP-C AST onto the kernel IR via KernelBuilder:
+// map clauses become pointer args, `omp_get_thread_num()` becomes the
+// thread-id op, `#pragma omp critical` becomes a semaphore-guarded region,
+// and `#pragma unroll N` fully unrolls constant-trip loops (how the
+// paper's Figs. 4/5 express their vector/block unrolling).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "ir/kernel.hpp"
+
+namespace hlsprof::frontend {
+
+struct LowerOptions {
+  /// Compile-time constant bindings for map extents, local-array sizes,
+  /// and unrolled-loop bounds (like -D defines): e.g. {"DIM", 512}.
+  std::map<std::string, std::int64_t> constants;
+};
+
+/// Lower a parsed kernel to IR. Throws hlsprof::Error on semantic errors
+/// (unknown identifiers, type mismatches, unfoldable extents, unmapped
+/// pointer parameters).
+ir::Kernel lower(const ast::KernelFn& fn,
+                 const LowerOptions& options = LowerOptions{});
+
+/// Convenience: parse + lower.
+ir::Kernel compile_source(const std::string& source,
+                          const LowerOptions& options = LowerOptions{});
+
+}  // namespace hlsprof::frontend

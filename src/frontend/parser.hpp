@@ -1,0 +1,17 @@
+// Recursive-descent parser for the OpenMP-C subset: one `void f(params)`
+// function whose body is a single `#pragma omp target parallel ...`
+// region (the paper's Nymble flow has the same one-target-region-per-
+// application restriction, §III-A).
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace hlsprof::frontend {
+
+/// Parse a translation unit. Throws hlsprof::Error with line information
+/// on syntax errors or unsupported constructs.
+ast::KernelFn parse(const std::string& source);
+
+}  // namespace hlsprof::frontend

@@ -1,0 +1,212 @@
+#include "hls/compiler.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/verifier.hpp"
+
+namespace hlsprof::hls {
+
+using ir::Kernel;
+using ir::Op;
+using ir::Opcode;
+using ir::Region;
+using ir::Stmt;
+
+namespace {
+
+/// Does a region (recursively) contain any external memory operation?
+bool touches_external(const Kernel& k, const Region& r) {
+  bool found = false;
+  ir::for_each_region(r, [&](const Region& sub) {
+    for (const Stmt& s : sub.stmts) {
+      if (const auto* os = std::get_if<ir::OpStmt>(&s)) {
+        if (ir::is_vlo(k.op(os->op).opcode)) found = true;
+      }
+    }
+  });
+  return found;
+}
+
+class CompileDriver {
+ public:
+  CompileDriver(Kernel kernel, const HlsOptions& options) {
+    d_.kernel = std::move(kernel);
+    d_.options = options;
+  }
+
+  Design run() {
+    const Kernel& k = d_.kernel;
+    ir::verify(k);
+
+    d_.op_latency.resize(k.ops.size(), 0);
+    d_.op_start.resize(k.ops.size(), 0);
+    for (std::size_t i = 0; i < k.ops.size(); ++i) {
+      d_.op_latency[i] =
+          d_.options.lib.latency(k.ops[i].opcode, k.ops[i].type);
+    }
+
+    d_.loops.resize(static_cast<std::size_t>(k.num_loops));
+    visit_region(k.body);
+
+    finalize_stats();
+    estimate_area();
+    d_.fmax_mhz = d_.options.fmax.estimate(d_.area, d_.stats.bus_ports);
+    return std::move(d_);
+  }
+
+ private:
+  void visit_region(const Region& r) {
+    for (const Stmt& s : r.stmts) {
+      if (const auto* loop = std::get_if<ir::LoopStmt>(&s)) {
+        LoopInfo& info = d_.loops[static_cast<std::size_t>(loop->id)];
+        info.name = loop->name;
+        if (loop->pipeline && is_pipelineable(*loop->body)) {
+          schedule_pipelined_body(d_.kernel, *loop->body, d_.options.lib,
+                                  info, d_.op_start);
+        } else {
+          info.pipelined = false;
+          census_region_ops(d_.kernel, *loop->body, info);
+          // Sequential loops restart their body every iteration: charge the
+          // body's own (directly contained) ops via op_latency at run time;
+          // one stage per distinct op suffices for the area model.
+          info.num_stages = 1;
+          info.depth = 1;
+          info.ii = 1;
+          visit_region(*loop->body);
+        }
+      } else if (const auto* iff = std::get_if<ir::IfStmt>(&s)) {
+        visit_region(*iff->then_body);
+        visit_region(*iff->else_body);
+      } else if (const auto* crit = std::get_if<ir::CriticalStmt>(&s)) {
+        d_.stats.uses_critical = true;
+        visit_region(*crit->body);
+      } else if (const auto* con = std::get_if<ir::ConcurrentStmt>(&s)) {
+        check_concurrent(*con);
+        for (const auto& b : con->branches) visit_region(*b);
+      }
+    }
+  }
+
+  void check_concurrent(const ir::ConcurrentStmt& con) {
+    HLSPROF_CHECK(con.user_asserted_independent,
+                  "concurrent regions require an independence assertion "
+                  "(like a vendor 'dependence ... false' pragma); automatic "
+                  "disambiguation of overlapping buffers is not implemented");
+    int ext_branches = 0;
+    for (const auto& b : con.branches) {
+      if (touches_external(d_.kernel, *b)) ++ext_branches;
+    }
+    HLSPROF_CHECK(ext_branches <= 1,
+                  "at most one concurrent branch may access external memory: "
+                  "all external accesses multiplex onto one read and one "
+                  "write Avalon port per thread");
+  }
+
+  void finalize_stats() {
+    const Kernel& k = d_.kernel;
+    DesignStats& st = d_.stats;
+    st.num_threads = k.num_threads;
+    st.num_loops = k.num_loops;
+    st.uses_preloader = d_.options.enable_preloader;
+    for (const Op& op : k.ops) {
+      ++st.total_ops;
+      if (op.opcode == Opcode::preload) {
+        HLSPROF_CHECK(d_.options.enable_preloader,
+                      "kernel uses preload but the preloader block is "
+                      "disabled (HlsOptions::enable_preloader)");
+      }
+      if (op.opcode == Opcode::fadd || op.opcode == Opcode::fsub ||
+          op.opcode == Opcode::fmul || op.opcode == Opcode::fdiv ||
+          op.opcode == Opcode::fneg) {
+        ++st.fp_op_instances;
+      } else if (op.opcode == Opcode::add || op.opcode == Opcode::sub ||
+                 op.opcode == Opcode::mul || op.opcode == Opcode::divs) {
+        ++st.int_op_instances;
+      } else if (ir::is_vlo(op.opcode)) {
+        ++st.mem_op_instances;
+      }
+    }
+    for (const LoopInfo& li : d_.loops) {
+      st.total_stages += li.num_stages;
+      st.total_reordering_stages += li.num_reordering_stages;
+    }
+    // One Avalon read + one write master per thread, plus the preloader.
+    st.bus_ports = 2 * k.num_threads + (st.uses_preloader ? 1 : 0);
+  }
+
+  void estimate_area() {
+    const Kernel& k = d_.kernel;
+    const ResourceLibrary& lib = d_.options.lib;
+    const InfraCosts& infra = d_.options.infra;
+    Area a;
+
+    // Datapath operators (one instance per IR op — Nymble does not share
+    // operators across schedule slots in the MT execution model).
+    for (const Op& op : k.ops) a += lib.area(op.opcode, op.type);
+
+    // Stage and context registers from the schedulers' live-bit estimate.
+    long long live_bits = 0;
+    long long reorder_bits = 0;
+    for (const LoopInfo& li : d_.loops) {
+      live_bits += li.live_bits;
+      reorder_bits += li.reorder_context_bits;
+    }
+    a.ff += infra.ff_per_live_bit * double(live_bits);
+    a.alm += infra.alm_per_live_bit * double(live_bits);
+    if (d_.options.thread_reordering) {
+      a.bram_bits += infra.context_bram_bits_per_thread_bit *
+                     double(reorder_bits) * double(k.num_threads);
+      for (const LoopInfo& li : d_.loops) {
+        a += infra.hts_per_reordering_stage.scaled(
+            double(li.num_reordering_stages));
+      }
+    }
+
+    // Controller.
+    a += infra.controller_per_stage.scaled(double(d_.stats.total_stages));
+
+    // Vars: one register per thread context.
+    for (const ir::Var& v : k.vars) {
+      a.ff += double(v.type.bytes() * 8) * double(k.num_threads);
+    }
+
+    // Local memories: per-thread private BRAMs.
+    for (const ir::LocalArray& arr : k.local_arrays) {
+      const double bits =
+          double(arr.size) * (arr.elem == ir::Scalar::f64 ||
+                                      arr.elem == ir::Scalar::i64
+                                  ? 64.0
+                                  : 32.0);
+      a.bram_bits += bits * double(k.num_threads);
+      a += Area{40, 30, 0, 0};  // address/port logic per array
+    }
+
+    // Architecture template (Fig. 1).
+    a += infra.platform_shell;
+    a += infra.avalon_master_per_thread.scaled(2.0 * double(k.num_threads));
+    a += infra.avalon_slave;
+    a += infra.bus_per_port.scaled(double(d_.stats.bus_ports));
+    if (d_.stats.uses_critical) a += infra.semaphore;
+    if (d_.stats.uses_preloader) a += infra.preloader;
+
+    d_.area = a;
+  }
+
+  Design d_;
+};
+
+}  // namespace
+
+Design compile(Kernel kernel, const HlsOptions& options) {
+  return CompileDriver(std::move(kernel), options).run();
+}
+
+const LoopInfo& Design::loop(int id) const {
+  HLSPROF_CHECK(id >= 0 && static_cast<std::size_t>(id) < loops.size(),
+                "loop id out of range");
+  return loops[static_cast<std::size_t>(id)];
+}
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,17 @@
+// The HLS compiler driver: verifies the kernel, schedules every loop,
+// classifies stages, and produces the area/fmax estimate — the equivalent
+// of Nymble's synthesis step that the paper instruments.
+#pragma once
+
+#include "hls/design.hpp"
+#include "ir/kernel.hpp"
+
+namespace hlsprof::hls {
+
+/// Compile a kernel into an accelerator design. Throws hlsprof::Error on
+/// malformed IR or on constructs the architecture cannot realize (e.g. a
+/// `concurrent` with more than one branch touching external memory — all
+/// external accesses multiplex onto one read/one write port per thread).
+Design compile(ir::Kernel kernel, const HlsOptions& options = HlsOptions{});
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,39 @@
+#include "hls/report.hpp"
+
+#include "common/strings.hpp"
+
+namespace hlsprof::hls {
+
+std::string report(const Design& d) {
+  const auto& k = d.kernel;
+  std::string out;
+  out += strf("=== HLS report: kernel '%s' ===\n", k.name.c_str());
+  out += strf("threads %d | loops %d | locks %d | local arrays %zu | "
+              "IR ops %zu\n",
+              k.num_threads, k.num_loops, k.num_locks,
+              k.local_arrays.size(), k.ops.size());
+  out += strf("stages %d (reordering %d) | bus ports %d | critical %s | "
+              "preloader %s\n",
+              d.stats.total_stages, d.stats.total_reordering_stages,
+              d.stats.bus_ports, d.stats.uses_critical ? "yes" : "no",
+              d.stats.uses_preloader ? "yes" : "no");
+
+  out += "\nloops:\n";
+  out += strf("  %-12s %-10s %4s %7s %7s %6s %7s %7s %8s\n", "name", "mode",
+              "II", "rec-II", "res-II", "depth", "ld/it", "st/it",
+              "FLOP/it");
+  for (const LoopInfo& li : d.loops) {
+    out += strf("  %-12s %-10s %4d %7d %7d %6d %7lld %7lld %8lld\n",
+                li.name.c_str(), li.pipelined ? "pipelined" : "sequential",
+                li.ii, li.rec_ii, li.res_ii, li.depth, li.ext_loads,
+                li.ext_stores, li.fp_ops);
+  }
+
+  out += "\nresources (estimate, incl. platform shell):\n";
+  out += strf("  ALMs %.0f | FFs %.0f | DSPs %.0f | BRAM %.0f Kbit\n",
+              d.area.alm, d.area.ff, d.area.dsp, d.area.bram_bits / 1024.0);
+  out += strf("  fmax estimate: %.1f MHz\n", d.fmax_mhz);
+  return out;
+}
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,17 @@
+// Textual HLS report, in the spirit of the loop/resource reports vendor
+// HLS tools emit (the paper's related work notes Intel and Xilinx offer
+// such reports; ours additionally carries the Nymble-MT specifics: stage
+// counts, reordering stages, per-loop II split into recurrence/resource).
+#pragma once
+
+#include <string>
+
+#include "hls/design.hpp"
+
+namespace hlsprof::hls {
+
+/// Multi-line human-readable report: kernel summary, per-loop schedule
+/// table, resource utilisation estimate, and the fmax estimate.
+std::string report(const Design& d);
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,146 @@
+#include "hls/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hlsprof::hls {
+
+using ir::Opcode;
+using ir::Type;
+
+int ResourceLibrary::latency(Opcode op, const Type& t) const {
+  switch (op) {
+    case Opcode::const_int:
+    case Opcode::const_float:
+    case Opcode::thread_id:
+    case Opcode::num_threads:
+    case Opcode::read_arg:
+    case Opcode::var_read:
+    case Opcode::var_write:
+      return 0;  // registers / constants: no datapath delay of their own
+    case Opcode::add:
+    case Opcode::sub:
+    case Opcode::neg:
+    case Opcode::and_:
+    case Opcode::or_:
+    case Opcode::xor_:
+    case Opcode::shl:
+    case Opcode::ashr:
+    case Opcode::cmp_lt:
+    case Opcode::cmp_le:
+    case Opcode::cmp_gt:
+    case Opcode::cmp_ge:
+    case Opcode::cmp_eq:
+    case Opcode::cmp_ne:
+    case Opcode::select:
+      return lat_int_alu;
+    case Opcode::mul:
+      return lat_int_mul;
+    case Opcode::divs:
+    case Opcode::rems:
+      return lat_int_div;
+    case Opcode::fadd:
+    case Opcode::fsub:
+    case Opcode::fneg:
+      return lat_fadd;
+    case Opcode::fmul:
+      return lat_fmul;
+    case Opcode::fdiv:
+      return lat_fdiv;
+    case Opcode::cast:
+      return lat_cast;
+    case Opcode::broadcast:
+    case Opcode::extract:
+    case Opcode::insert:
+      return lat_shuffle;
+    case Opcode::reduce_add: {
+      int levels = 0;
+      int lanes = std::max<int>(1, t.lanes);
+      while ((1 << levels) < lanes) ++levels;
+      return std::max(1, levels * lat_reduce_per_level +
+                             (t.is_float() ? lat_fadd - 1 : 0));
+    }
+    case Opcode::load_local:
+    case Opcode::store_local:
+      return lat_local_mem;
+    case Opcode::load_ext:
+    case Opcode::store_ext:
+    case Opcode::preload:
+      return ext_assumed_min;  // scheduler's assumed minimum (VLO)
+  }
+  return 1;
+}
+
+Area ResourceLibrary::area(Opcode op, const Type& t) const {
+  const double lanes = double(std::max<int>(1, t.lanes));
+  const double wide = t.scalar_bytes() == 8 ? 2.0 : 1.0;  // 64-bit units
+  switch (op) {
+    case Opcode::const_int:
+    case Opcode::const_float:
+    case Opcode::thread_id:
+    case Opcode::num_threads:
+    case Opcode::read_arg:
+      return Area{};
+    case Opcode::var_read:
+      return Area{};
+    case Opcode::var_write:
+      // The var register itself: one FF per bit per thread context is
+      // accounted with live values; the write mux costs a little logic.
+      return Area{6, 0, 0, 0}.scaled(lanes * wide);
+    case Opcode::add:
+    case Opcode::sub:
+    case Opcode::neg:
+    case Opcode::and_:
+    case Opcode::or_:
+    case Opcode::xor_:
+    case Opcode::shl:
+    case Opcode::ashr:
+    case Opcode::cmp_lt:
+    case Opcode::cmp_le:
+    case Opcode::cmp_gt:
+    case Opcode::cmp_ge:
+    case Opcode::cmp_eq:
+    case Opcode::cmp_ne:
+    case Opcode::select:
+      return area_int_alu.scaled(lanes * wide);
+    case Opcode::mul:
+      return area_int_mul.scaled(lanes * wide);
+    case Opcode::divs:
+    case Opcode::rems:
+      return area_int_div.scaled(lanes * wide);
+    case Opcode::fadd:
+    case Opcode::fsub:
+    case Opcode::fneg:
+      return area_fadd.scaled(lanes * wide);
+    case Opcode::fmul:
+      return area_fmul.scaled(lanes * wide);
+    case Opcode::fdiv:
+      return area_fdiv.scaled(lanes * wide);
+    case Opcode::cast:
+      return area_cast.scaled(lanes * wide);
+    case Opcode::broadcast:
+    case Opcode::extract:
+    case Opcode::insert:
+    case Opcode::reduce_add:
+      return area_shuffle.scaled(lanes * wide);
+    case Opcode::load_ext:
+    case Opcode::store_ext:
+    case Opcode::load_local:
+    case Opcode::store_local:
+      return area_mem_port.scaled(std::sqrt(lanes) * wide);
+    case Opcode::preload:
+      // Command interface to the shared preloader block (the block itself
+      // is part of the architecture template's infrastructure cost).
+      return Area{60, 80, 0, 0};
+  }
+  return Area{};
+}
+
+double FmaxModel::estimate(const Area& a, int bus_ports) const {
+  const double size_term =
+      alm_penalty_per_log2 * std::log2(a.alm / 20000.0 + 1.0);
+  const double port_term = port_penalty * double(bus_ports);
+  return std::max(floor_mhz, base_mhz - size_term - port_term);
+}
+
+}  // namespace hlsprof::hls

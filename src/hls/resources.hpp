@@ -1,0 +1,110 @@
+// Operator latency/area library and infrastructure cost constants for the
+// targeted device class (Intel Stratix 10, as in the paper's evaluation).
+// Latencies drive scheduling (II, stage depth); areas drive the post-P&R
+// estimate the overhead study (paper §V-B) is reproduced against.
+//
+// The absolute values are calibrated, not measured (we have no Quartus);
+// EXPERIMENTS.md documents the calibration. Relative results (overhead
+// percentages, speedups) must emerge from the models.
+#pragma once
+
+#include "ir/op.hpp"
+#include "ir/type.hpp"
+
+namespace hlsprof::hls {
+
+/// FPGA resource vector (Stratix-10 style: ALMs, flip-flops, DSP blocks,
+/// BRAM bits). Fractional values are fine — these are estimates.
+struct Area {
+  double alm = 0.0;
+  double ff = 0.0;
+  double dsp = 0.0;
+  double bram_bits = 0.0;
+
+  Area& operator+=(const Area& o) {
+    alm += o.alm;
+    ff += o.ff;
+    dsp += o.dsp;
+    bram_bits += o.bram_bits;
+    return *this;
+  }
+  friend Area operator+(Area a, const Area& b) { return a += b; }
+  Area scaled(double f) const { return Area{alm * f, ff * f, dsp * f,
+                                            bram_bits * f}; }
+};
+
+/// Per-operator latency (cycles) and area costs, plus the latency the
+/// scheduler *assumes* for variable-latency operations (paper §III-B: the
+/// static schedule uses the expected minimum delay of VLOs; longer delays
+/// stall the pipeline at run time).
+struct ResourceLibrary {
+  // -- Latencies (cycles at the accelerator clock) --
+  int lat_int_alu = 1;    // add/sub/logic/compare/select
+  int lat_int_mul = 3;
+  int lat_int_div = 12;
+  int lat_fadd = 3;       // sets the recurrence II of reduction loops
+  int lat_fmul = 2;
+  int lat_fdiv = 14;
+  int lat_cast = 2;
+  int lat_local_mem = 2;  // BRAM access
+  int lat_shuffle = 1;    // broadcast/extract/insert
+  int lat_reduce_per_level = 1;  // adder-tree level per log2(lanes)
+
+  /// Assumed minimum latency of an external-memory VLO. Actual latency is
+  /// decided by the memory system; the difference is a stall.
+  int ext_assumed_min = 8;
+
+  /// Latency of one operation of the given opcode/type (vector ops share
+  /// lanes in parallel units: latency does not scale with lanes).
+  int latency(ir::Opcode op, const ir::Type& t) const;
+
+  // -- Areas (per operator instance; vector ops scale by lanes) --
+  Area area_int_alu{28, 34, 0, 0};
+  Area area_int_mul{20, 64, 1, 0};
+  Area area_int_div{350, 420, 0, 0};
+  Area area_fadd{420, 520, 0, 0};
+  Area area_fmul{110, 190, 1, 0};
+  Area area_fdiv{900, 1100, 0, 0};
+  Area area_cast{90, 120, 0, 0};
+  Area area_shuffle{8, 10, 0, 0};
+  Area area_mem_port{260, 330, 0, 0};  // load/store unit (per op instance)
+
+  Area area(ir::Opcode op, const ir::Type& t) const;
+};
+
+/// Costs of the fixed architecture template around the datapath (paper
+/// Fig. 1): per-thread Avalon masters, bus, controller, semaphore, etc.
+struct InfraCosts {
+  /// Board-support logic synthesized with every accelerator: the DDR4
+  /// controllers for the four banks, the host (PCIe/CCI-P) interface and
+  /// DMA engines. The paper's post-P&R utilisation numbers include this.
+  Area platform_shell{25000, 45000, 0, 2.0e6};
+  Area avalon_master_per_thread{620, 880, 0, 0};
+  Area avalon_slave{450, 600, 0, 0};
+  Area bus_per_port{95, 60, 0, 0};        // mux/arbiter slice per master
+  Area controller_per_stage{26, 42, 0, 0};
+  Area hts_per_reordering_stage{110, 90, 0, 0};  // hardware thread scheduler
+  Area semaphore{160, 140, 0, 0};
+  Area preloader{780, 950, 0, 0};
+  /// Stage/context registers are computed from live bits (see compiler.cpp);
+  /// these coefficients translate bits into resources.
+  double ff_per_live_bit = 1.0;
+  double alm_per_live_bit = 0.12;
+  /// Reordering-stage thread contexts are held in memory blocks.
+  double context_bram_bits_per_thread_bit = 1.0;
+};
+
+/// Heuristic post-P&R clock-frequency model. Larger designs route worse;
+/// wide multiplexers (many threads, many masters) lengthen the critical
+/// path. Calibrated so the paper's designs land near 140 MHz (GEMM) and
+/// 148 MHz (pi).
+struct FmaxModel {
+  double base_mhz = 172.0;
+  double alm_penalty_per_log2 = 7.5;   // MHz per log2(ALM/20k + 1)
+  double port_penalty = 0.45;          // MHz per bus port
+  double floor_mhz = 60.0;
+
+  double estimate(const Area& a, int bus_ports) const;
+};
+
+}  // namespace hlsprof::hls

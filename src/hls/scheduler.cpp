@@ -1,0 +1,338 @@
+#include "hls/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hlsprof::hls {
+
+using ir::Kernel;
+using ir::Op;
+using ir::Opcode;
+using ir::Region;
+using ir::Stmt;
+using ir::ValueId;
+
+namespace {
+
+bool is_int_alu(Opcode op) {
+  switch (op) {
+    case Opcode::add:
+    case Opcode::sub:
+    case Opcode::mul:
+    case Opcode::divs:
+    case Opcode::rems:
+    case Opcode::neg:
+    case Opcode::and_:
+    case Opcode::or_:
+    case Opcode::xor_:
+    case Opcode::shl:
+    case Opcode::ashr:
+    case Opcode::cmp_lt:
+    case Opcode::cmp_le:
+    case Opcode::cmp_gt:
+    case Opcode::cmp_ge:
+    case Opcode::cmp_eq:
+    case Opcode::cmp_ne:
+    case Opcode::select:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fp_op(Opcode op) {
+  switch (op) {
+    case Opcode::fadd:
+    case Opcode::fsub:
+    case Opcode::fmul:
+    case Opcode::fdiv:
+    case Opcode::fneg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Number of FP lane-operations (FLOPs) one execution of `op` performs.
+long long flops_of(const Op& op) {
+  if (is_fp_op(op.opcode)) return op.type.lanes;
+  if (op.opcode == Opcode::reduce_add && op.type.is_float()) {
+    // lanes-1 adds in the reduction tree; operand carries the lane count.
+    return 0;  // counted at the operand site below (needs operand type)
+  }
+  return 0;
+}
+
+/// Flatten the ops of a pipelineable region in program order, remembering
+/// the if-condition (if any) governing each op.
+void flatten(const Region& r, ValueId cond, const Kernel& k,
+             std::vector<std::pair<ValueId, ValueId>>& out) {
+  for (const Stmt& s : r.stmts) {
+    if (const auto* os = std::get_if<ir::OpStmt>(&s)) {
+      out.emplace_back(os->op, cond);
+    } else if (const auto* iff = std::get_if<ir::IfStmt>(&s)) {
+      flatten(*iff->then_body, iff->cond, k, out);
+      flatten(*iff->else_body, iff->cond, k, out);
+    } else {
+      fail("flatten() on a region that is not pipelineable");
+    }
+  }
+}
+
+}  // namespace
+
+bool is_pipelineable(const Region& r) {
+  for (const Stmt& s : r.stmts) {
+    if (std::holds_alternative<ir::OpStmt>(s)) continue;
+    if (const auto* iff = std::get_if<ir::IfStmt>(&s)) {
+      if (!is_pipelineable(*iff->then_body) ||
+          !is_pipelineable(*iff->else_body)) {
+        return false;
+      }
+      continue;
+    }
+    return false;  // loops, criticals, concurrents, barriers
+  }
+  return true;
+}
+
+void census_region_ops(const Kernel& k, const Region& r, LoopInfo& info) {
+  for (const Stmt& s : r.stmts) {
+    const ir::OpStmt* os = std::get_if<ir::OpStmt>(&s);
+    if (os == nullptr) {
+      if (const auto* iff = std::get_if<ir::IfStmt>(&s)) {
+        census_region_ops(k, *iff->then_body, info);
+        census_region_ops(k, *iff->else_body, info);
+      }
+      continue;
+    }
+    const Op& op = k.op(os->op);
+    if (is_int_alu(op.opcode)) info.int_ops += op.type.lanes;
+    info.fp_ops += flops_of(op);
+    if (op.opcode == Opcode::reduce_add && op.type.is_float()) {
+      info.fp_ops += k.op(op.operands[0]).type.lanes - 1;
+    }
+    switch (op.opcode) {
+      case Opcode::load_ext:
+        info.ext_loads += 1;
+        info.ext_bytes_read += op.type.bytes();
+        break;
+      case Opcode::preload:
+        // Burst through the preloader's own master; byte volume is
+        // dynamic (the count operand), accounted at simulation time.
+        info.ext_loads += 1;
+        break;
+      case Opcode::store_ext:
+        info.ext_stores += 1;
+        info.ext_bytes_written += op.type.bytes();
+        break;
+      case Opcode::load_local:
+      case Opcode::store_local:
+        info.local_accesses += 1;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void schedule_pipelined_body(const Kernel& k, const Region& body,
+                             const ResourceLibrary& lib, LoopInfo& info,
+                             std::vector<int>& op_start) {
+  std::vector<std::pair<ValueId, ValueId>> ops;  // (op, guarding cond)
+  flatten(body, ir::kNoValue, k, ops);
+
+  // Map ValueId -> position for "is it in this body".
+  std::map<ValueId, std::size_t> pos;
+  for (std::size_t i = 0; i < ops.size(); ++i) pos[ops[i].first] = i;
+
+  auto in_body = [&](ValueId v) { return pos.count(v) != 0; };
+  auto lat = [&](ValueId v) {
+    const Op& op = k.op(v);
+    return lib.latency(op.opcode, op.type);
+  };
+
+  // ---- ASAP schedule ------------------------------------------------------
+  // start[i]: issue cycle of ops[i] relative to iteration start. Values
+  // defined outside the body (loop invariants, the induction register) are
+  // available at cycle 0.
+  std::vector<int> start(ops.size(), 0);
+
+  // Ordering state for vars and memory.
+  std::map<ir::VarId, int> var_ready;       // cycle var value is ready
+  std::map<int, int> mem_last_store_ready;  // RAW/WAW ordering per location
+  std::map<int, int> mem_last_access_start; // WAR ordering per location
+
+  auto mem_key = [](const Op& op) {
+    const bool local =
+        op.opcode == Opcode::load_local || op.opcode == Opcode::store_local;
+    return local ? (int(op.array) << 1 | 1) : (int(op.arg) << 1);
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = k.op(ops[i].first);
+    int s = 0;
+    for (ValueId v : op.operands) {
+      if (in_body(v)) {
+        s = std::max(s, start[pos[v]] + lat(v));
+      }
+    }
+    const ValueId cond = ops[i].second;
+    if (cond != ir::kNoValue && in_body(cond)) {
+      s = std::max(s, start[pos[cond]] + lat(cond));
+    }
+    if (op.opcode == Opcode::var_read) {
+      auto it = var_ready.find(op.var);
+      if (it != var_ready.end()) s = std::max(s, it->second);
+    }
+    const bool is_load =
+        op.opcode == Opcode::load_ext || op.opcode == Opcode::load_local;
+    const bool is_store =
+        op.opcode == Opcode::store_ext || op.opcode == Opcode::store_local;
+    if (is_load || is_store) {
+      const int key = mem_key(op);
+      if (auto it = mem_last_store_ready.find(key);
+          it != mem_last_store_ready.end()) {
+        s = std::max(s, it->second);  // RAW/WAW via memory
+      }
+      if (is_store) {
+        if (auto it = mem_last_access_start.find(key);
+            it != mem_last_access_start.end()) {
+          s = std::max(s, it->second);  // WAR: don't overtake earlier access
+        }
+      }
+    }
+    start[i] = s;
+    if (op.opcode == Opcode::var_write) {
+      var_ready[op.var] = s;  // register forwarded within the stage
+    }
+    if (is_store) mem_last_store_ready[mem_key(op)] = s + lat(ops[i].first);
+    if (is_load || is_store) {
+      mem_last_access_start[mem_key(op)] =
+          std::max(mem_last_access_start[mem_key(op)], s);
+    }
+    op_start[static_cast<std::size_t>(ops[i].first)] = s;
+  }
+
+  int depth = 1;  // schedule length (pipeline fill)
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    depth = std::max(depth, start[i] + std::max(1, lat(ops[i].first)));
+  }
+
+  // ---- Recurrence II ----------------------------------------------------------
+  // For each var v both read and written in the body, the longest SSA path
+  // from a var_read(v) to the operand of a var_write(v) repeats every
+  // iteration through v's register: II >= path latency (distance-1
+  // recurrence). Computed per var — a path from var_read(a) into
+  // var_write(b) is not a cycle and must not constrain II (the induction
+  // counter, in particular, is advanced by the controller, not the body).
+  int rec_ii = 1;
+  {
+    std::set<ir::VarId> written;
+    for (auto& [v, cond] : ops) {
+      (void)cond;
+      const Op& op = k.op(v);
+      if (op.opcode == Opcode::var_write) written.insert(op.var);
+    }
+    for (ir::VarId var : written) {
+      std::vector<long long> dist(ops.size(), -1);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op& op = k.op(ops[i].first);
+        long long best = dist[i];
+        if (op.opcode == Opcode::var_read && op.var == var) {
+          best = std::max<long long>(best, 0);
+        }
+        for (ValueId v : op.operands) {
+          if (in_body(v) && dist[pos[v]] >= 0) {
+            best = std::max(best, dist[pos[v]] + lat(v));
+          }
+        }
+        dist[i] = best;
+        if (op.opcode == Opcode::var_write && op.var == var &&
+            !op.operands.empty()) {
+          const ValueId src = op.operands[0];
+          if (in_body(src) && dist[pos[src]] >= 0) {
+            rec_ii = std::max<int>(
+                rec_ii, static_cast<int>(dist[pos[src]] + lat(src)));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Resource II -------------------------------------------------------------
+  long long ext_loads = 0;
+  long long ext_stores = 0;
+  std::map<ir::LocalArrayId, long long> local_uses;
+  for (auto& [v, cond] : ops) {
+    (void)cond;
+    const Op& op = k.op(v);
+    if (op.opcode == Opcode::load_ext) ++ext_loads;
+    if (op.opcode == Opcode::store_ext) ++ext_stores;
+    if (op.opcode == Opcode::load_local || op.opcode == Opcode::store_local) {
+      ++local_uses[op.array];
+    }
+  }
+  int res_ii = 1;
+  res_ii = std::max<int>(res_ii, static_cast<int>(ext_loads));   // 1 rd port
+  res_ii = std::max<int>(res_ii, static_cast<int>(ext_stores));  // 1 wr port
+  for (auto& [arr, uses] : local_uses) {
+    const int ports = k.local_arrays[static_cast<std::size_t>(arr)].ports;
+    res_ii = std::max<int>(
+        res_ii, static_cast<int>((uses + ports - 1) / ports));
+  }
+
+  info.pipelined = true;
+  info.rec_ii = rec_ii;
+  info.res_ii = res_ii;
+  info.ii = std::max(rec_ii, res_ii);
+  info.depth = depth;
+
+  // ---- Stage formation --------------------------------------------------------
+  std::set<int> stages;
+  std::set<int> vlo_stages;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    stages.insert(start[i]);
+    if (ir::is_vlo(k.op(ops[i].first).opcode)) vlo_stages.insert(start[i]);
+  }
+  info.num_stages = static_cast<int>(stages.size());
+  info.num_reordering_stages = static_cast<int>(vlo_stages.size());
+
+  // ---- Census ------------------------------------------------------------------
+  census_region_ops(k, body, info);
+
+  // ---- Live bits ----------------------------------------------------------------
+  // A value is live at stage boundary b if it is produced before b and
+  // consumed at or after b. Reordering boundaries replicate per thread.
+  std::vector<int> last_use(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = k.op(ops[i].first);
+    for (ValueId v : op.operands) {
+      if (in_body(v)) {
+        last_use[pos[v]] = std::max(last_use[pos[v]], start[i]);
+      }
+    }
+  }
+  long long live_bits = 0;
+  long long reorder_bits = 0;
+  for (int b = 1; b < depth; ++b) {
+    long long bits_here = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = k.op(ops[i].first);
+      if (!ir::produces_value(op.opcode)) continue;
+      const int produced = start[i] + lat(ops[i].first);
+      if (produced <= b && last_use[i] >= b) {
+        bits_here += op.type.bytes() * 8;
+      }
+    }
+    live_bits += bits_here;
+    if (vlo_stages.count(b) != 0) reorder_bits += bits_here;
+  }
+  info.live_bits = live_bits;
+  info.reorder_context_bits = reorder_bits;
+}
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,33 @@
+// Static scheduling of loop bodies: ASAP scheduling with operator
+// latencies, resource- and recurrence-constrained initiation intervals,
+// stage formation, and register-pressure estimation. Mirrors how Nymble
+// computes a static schedule at synthesis time and assumes the minimum
+// delay for variable-latency operations (paper §III-B).
+#pragma once
+
+#include <vector>
+
+#include "hls/design.hpp"
+#include "ir/kernel.hpp"
+
+namespace hlsprof::hls {
+
+/// True if `r` can be pipelined as an innermost loop body: it contains only
+/// plain ops and (predicated) if-regions — no nested loops, criticals,
+/// concurrents, or barriers (those are VLO boundaries handled by the
+/// surrounding graph).
+bool is_pipelineable(const ir::Region& r);
+
+/// Schedule one pipelineable loop body. Fills `info` (ii/depth/stages/
+/// census/live bits) and writes per-op start cycles into `op_start`
+/// (indexed by ValueId; only ops inside the body are touched).
+void schedule_pipelined_body(const ir::Kernel& k, const ir::Region& body,
+                             const ResourceLibrary& lib, LoopInfo& info,
+                             std::vector<int>& op_start);
+
+/// Census of the directly-contained ops of a non-pipelined region (used
+/// for sequential loops and the kernel's top-level segment).
+void census_region_ops(const ir::Kernel& k, const ir::Region& r,
+                       LoopInfo& info);
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,33 @@
+// Structural Verilog emission. Nymble's real output is a Verilog
+// accelerator consumed by Quartus (paper §III-A); we emit an equivalent,
+// readable module skeleton: datapath operator instances per stage, the
+// stage controller, per-thread Avalon masters, the semaphore, local
+// memories, and (optionally) the profiling unit hook-up. The emitted text
+// is synthesizable-shaped RTL used for inspection and golden tests; it is
+// not fed to a silicon flow in this repository.
+#pragma once
+
+#include <string>
+
+#include "hls/design.hpp"
+
+namespace hlsprof::hls {
+
+struct VerilogOptions {
+  bool include_profiling_unit = false;
+  int profiling_counter_width = 64;
+  /// Also emit the definitions of the Nymble primitive modules (stage
+  /// controller, hardware semaphore, profiling unit) so the file is
+  /// self-contained rather than referencing a primitive library.
+  bool include_primitives = false;
+};
+
+/// Emit the accelerator top-level module (plus submodule skeletons) for a
+/// compiled design.
+std::string emit_verilog(const Design& d,
+                         const VerilogOptions& opts = VerilogOptions{});
+
+/// The primitive-module definitions alone (what include_primitives appends).
+std::string emit_primitive_modules(const VerilogOptions& opts);
+
+}  // namespace hlsprof::hls

@@ -1,0 +1,594 @@
+#include "ir/builder.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "ir/verifier.hpp"
+
+namespace hlsprof::ir {
+
+Type Val::type() const {
+  HLSPROF_CHECK(valid(), "type() on invalid Val");
+  return b_->type_of(id_);
+}
+
+Val VarHandle::get() const {
+  HLSPROF_CHECK(b_ != nullptr, "VarHandle not bound");
+  Op op;
+  op.opcode = Opcode::var_read;
+  op.type = type_;
+  op.var = id_;
+  return b_->emit(op);
+}
+
+void VarHandle::set(Val v) const {
+  HLSPROF_CHECK(b_ != nullptr, "VarHandle not bound");
+  HLSPROF_CHECK(v.valid(), "VarHandle::set with invalid value");
+  HLSPROF_CHECK(v.type() == type_, "VarHandle::set type mismatch for var");
+  Op op;
+  op.opcode = Opcode::var_write;
+  op.type = type_;
+  op.var = id_;
+  op.operands = {v.id()};
+  b_->emit(op);
+}
+
+KernelBuilder::KernelBuilder(std::string name, int num_threads) {
+  HLSPROF_CHECK(num_threads >= 1 && num_threads <= 64,
+                "num_threads out of supported range [1,64]");
+  k_.name = std::move(name);
+  k_.num_threads = num_threads;
+  region_stack_.push_back(&k_.body);
+}
+
+Type KernelBuilder::type_of(ValueId v) const { return k_.op(v).type; }
+
+Val KernelBuilder::emit(Op op) {
+  HLSPROF_CHECK(!finished_, "builder already finished");
+  const auto id = static_cast<ValueId>(k_.ops.size());
+  const bool has_value = produces_value(op.opcode);
+  k_.ops.push_back(std::move(op));
+  current().stmts.push_back(OpStmt{id});
+  return has_value ? Val(this, id) : Val();
+}
+
+// ---- Arguments -----------------------------------------------------------
+
+PtrHandle KernelBuilder::ptr_arg(const std::string& name, Type elem,
+                                 MapDir map, std::int64_t count) {
+  HLSPROF_CHECK(count > 0, "pointer arg must map at least one element");
+  HLSPROF_CHECK(elem.lanes == 1, "pointer args are arrays of scalars");
+  Arg a;
+  a.name = name;
+  a.elem_type = elem;
+  a.is_pointer = true;
+  a.map = map;
+  a.count = count;
+  k_.args.push_back(a);
+  return PtrHandle{static_cast<ArgId>(k_.args.size() - 1), elem};
+}
+
+Val KernelBuilder::i32_arg(const std::string& name) {
+  Arg a;
+  a.name = name;
+  a.elem_type = Type::i32();
+  k_.args.push_back(a);
+  Op op;
+  op.opcode = Opcode::read_arg;
+  op.type = a.elem_type;
+  op.arg = static_cast<ArgId>(k_.args.size() - 1);
+  return emit(op);
+}
+
+Val KernelBuilder::i64_arg(const std::string& name) {
+  Arg a;
+  a.name = name;
+  a.elem_type = Type::i64();
+  k_.args.push_back(a);
+  Op op;
+  op.opcode = Opcode::read_arg;
+  op.type = a.elem_type;
+  op.arg = static_cast<ArgId>(k_.args.size() - 1);
+  return emit(op);
+}
+
+Val KernelBuilder::f32_arg(const std::string& name) {
+  Arg a;
+  a.name = name;
+  a.elem_type = Type::f32();
+  k_.args.push_back(a);
+  Op op;
+  op.opcode = Opcode::read_arg;
+  op.type = a.elem_type;
+  op.arg = static_cast<ArgId>(k_.args.size() - 1);
+  return emit(op);
+}
+
+Val KernelBuilder::f64_arg(const std::string& name) {
+  Arg a;
+  a.name = name;
+  a.elem_type = Type::f64();
+  k_.args.push_back(a);
+  Op op;
+  op.opcode = Opcode::read_arg;
+  op.type = a.elem_type;
+  op.arg = static_cast<ArgId>(k_.args.size() - 1);
+  return emit(op);
+}
+
+// ---- Constants and context ------------------------------------------------
+
+Val KernelBuilder::c32(std::int64_t v) {
+  Op op;
+  op.opcode = Opcode::const_int;
+  op.type = Type::i32();
+  op.i_imm = v;
+  return emit(op);
+}
+
+Val KernelBuilder::c64(std::int64_t v) {
+  Op op;
+  op.opcode = Opcode::const_int;
+  op.type = Type::i64();
+  op.i_imm = v;
+  return emit(op);
+}
+
+Val KernelBuilder::cf32(double v) {
+  Op op;
+  op.opcode = Opcode::const_float;
+  op.type = Type::f32();
+  op.f_imm = v;
+  return emit(op);
+}
+
+Val KernelBuilder::cf64(double v) {
+  Op op;
+  op.opcode = Opcode::const_float;
+  op.type = Type::f64();
+  op.f_imm = v;
+  return emit(op);
+}
+
+Val KernelBuilder::thread_id() {
+  Op op;
+  op.opcode = Opcode::thread_id;
+  op.type = Type::i32();
+  return emit(op);
+}
+
+Val KernelBuilder::num_threads_val() {
+  Op op;
+  op.opcode = Opcode::num_threads;
+  op.type = Type::i32();
+  return emit(op);
+}
+
+// ---- Arithmetic -----------------------------------------------------------
+
+void KernelBuilder::unify(Val& a, Val& b) {
+  HLSPROF_CHECK(a.valid() && b.valid(), "operation on invalid Val");
+  Type ta = a.type();
+  Type tb = b.type();
+  HLSPROF_CHECK(ta.scalar == tb.scalar,
+                "operand scalar types differ (insert an explicit cast)");
+  if (ta.lanes == tb.lanes) return;
+  if (ta.lanes == 1) {
+    a = broadcast(a, tb.lanes);
+  } else if (tb.lanes == 1) {
+    b = broadcast(b, ta.lanes);
+  } else {
+    fail("operand lane counts differ and neither is scalar");
+  }
+}
+
+Val KernelBuilder::binary(Opcode int_op, Opcode float_op, Val a, Val b) {
+  unify(a, b);
+  Op op;
+  op.opcode = a.type().is_float() ? float_op : int_op;
+  op.type = a.type();
+  op.operands = {a.id(), b.id()};
+  return emit(op);
+}
+
+Val KernelBuilder::compare(Opcode opc, Val a, Val b) {
+  unify(a, b);
+  HLSPROF_CHECK(a.type().lanes == 1, "comparisons are scalar-only");
+  Op op;
+  op.opcode = opc;
+  op.type = Type::i32();
+  op.operands = {a.id(), b.id()};
+  return emit(op);
+}
+
+Val KernelBuilder::add(Val a, Val b) {
+  return binary(Opcode::add, Opcode::fadd, a, b);
+}
+Val KernelBuilder::sub(Val a, Val b) {
+  return binary(Opcode::sub, Opcode::fsub, a, b);
+}
+Val KernelBuilder::mul(Val a, Val b) {
+  return binary(Opcode::mul, Opcode::fmul, a, b);
+}
+Val KernelBuilder::div(Val a, Val b) {
+  return binary(Opcode::divs, Opcode::fdiv, a, b);
+}
+
+Val KernelBuilder::rem(Val a, Val b) {
+  HLSPROF_CHECK(a.valid() && b.valid() && a.type().is_int() &&
+                    b.type().is_int(),
+                "rem requires integer operands");
+  return binary(Opcode::rems, Opcode::rems, a, b);
+}
+
+Val KernelBuilder::neg(Val a) {
+  HLSPROF_CHECK(a.valid(), "neg on invalid Val");
+  Op op;
+  op.opcode = a.type().is_float() ? Opcode::fneg : Opcode::neg;
+  op.type = a.type();
+  op.operands = {a.id()};
+  return emit(op);
+}
+
+Val KernelBuilder::band(Val a, Val b) {
+  return binary(Opcode::and_, Opcode::and_, a, b);
+}
+Val KernelBuilder::bor(Val a, Val b) {
+  return binary(Opcode::or_, Opcode::or_, a, b);
+}
+Val KernelBuilder::bxor(Val a, Val b) {
+  return binary(Opcode::xor_, Opcode::xor_, a, b);
+}
+Val KernelBuilder::shl(Val a, Val b) {
+  return binary(Opcode::shl, Opcode::shl, a, b);
+}
+Val KernelBuilder::ashr(Val a, Val b) {
+  return binary(Opcode::ashr, Opcode::ashr, a, b);
+}
+
+Val KernelBuilder::lt(Val a, Val b) { return compare(Opcode::cmp_lt, a, b); }
+Val KernelBuilder::le(Val a, Val b) { return compare(Opcode::cmp_le, a, b); }
+Val KernelBuilder::gt(Val a, Val b) { return compare(Opcode::cmp_gt, a, b); }
+Val KernelBuilder::ge(Val a, Val b) { return compare(Opcode::cmp_ge, a, b); }
+Val KernelBuilder::eq(Val a, Val b) { return compare(Opcode::cmp_eq, a, b); }
+Val KernelBuilder::ne(Val a, Val b) { return compare(Opcode::cmp_ne, a, b); }
+
+Val KernelBuilder::select(Val cond, Val a, Val b) {
+  HLSPROF_CHECK(cond.valid() && cond.type() == Type::i32(),
+                "select condition must be scalar i32");
+  unify(a, b);
+  Op op;
+  op.opcode = Opcode::select;
+  op.type = a.type();
+  op.operands = {cond.id(), a.id(), b.id()};
+  return emit(op);
+}
+
+Val KernelBuilder::cast(Val v, Type to) {
+  HLSPROF_CHECK(v.valid(), "cast on invalid Val");
+  HLSPROF_CHECK(v.type().lanes == to.lanes, "cast cannot change lane count");
+  if (v.type() == to) return v;
+  Op op;
+  op.opcode = Opcode::cast;
+  op.type = to;
+  op.operands = {v.id()};
+  return emit(op);
+}
+
+// ---- Vector ops ------------------------------------------------------------
+
+Val KernelBuilder::broadcast(Val scalar, int lanes) {
+  HLSPROF_CHECK(scalar.valid() && scalar.type().lanes == 1,
+                "broadcast source must be scalar");
+  Op op;
+  op.opcode = Opcode::broadcast;
+  op.type = scalar.type().with_lanes(lanes);
+  op.operands = {scalar.id()};
+  return emit(op);
+}
+
+Val KernelBuilder::extract(Val vec, int lane) {
+  HLSPROF_CHECK(vec.valid() && lane >= 0 && lane < vec.type().lanes,
+                "extract lane out of range");
+  Op op;
+  op.opcode = Opcode::extract;
+  op.type = vec.type().element();
+  op.operands = {vec.id()};
+  op.i_imm = lane;
+  return emit(op);
+}
+
+Val KernelBuilder::insert(Val vec, Val scalar, int lane) {
+  HLSPROF_CHECK(vec.valid() && scalar.valid(), "insert on invalid Val");
+  HLSPROF_CHECK(lane >= 0 && lane < vec.type().lanes,
+                "insert lane out of range");
+  HLSPROF_CHECK(scalar.type() == vec.type().element(),
+                "insert scalar type mismatch");
+  Op op;
+  op.opcode = Opcode::insert;
+  op.type = vec.type();
+  op.operands = {vec.id(), scalar.id()};
+  op.i_imm = lane;
+  return emit(op);
+}
+
+Val KernelBuilder::reduce_add(Val vec) {
+  HLSPROF_CHECK(vec.valid() && vec.type().is_vector(),
+                "reduce_add requires a vector");
+  Op op;
+  op.opcode = Opcode::reduce_add;
+  op.type = vec.type().element();
+  op.operands = {vec.id()};
+  return emit(op);
+}
+
+// ---- Memory -----------------------------------------------------------------
+
+Val KernelBuilder::load(PtrHandle p, Val index, int lanes) {
+  HLSPROF_CHECK(p.id >= 0, "load from unbound pointer");
+  HLSPROF_CHECK(index.valid() && index.type().is_int() &&
+                    index.type().lanes == 1,
+                "load index must be scalar integer");
+  Op op;
+  op.opcode = Opcode::load_ext;
+  op.type = p.elem.with_lanes(lanes);
+  op.operands = {index.id()};
+  op.arg = p.id;
+  return emit(op);
+}
+
+void KernelBuilder::store(PtrHandle p, Val index, Val value) {
+  HLSPROF_CHECK(p.id >= 0, "store to unbound pointer");
+  HLSPROF_CHECK(index.valid() && index.type().is_int() &&
+                    index.type().lanes == 1,
+                "store index must be scalar integer");
+  HLSPROF_CHECK(value.valid() && value.type().scalar == p.elem.scalar,
+                "store value scalar type mismatch");
+  Op op;
+  op.opcode = Opcode::store_ext;
+  op.type = value.type();
+  op.operands = {index.id(), value.id()};
+  op.arg = p.id;
+  emit(op);
+}
+
+LocalHandle KernelBuilder::local_array(const std::string& name, Scalar elem,
+                                       std::int64_t size, int ports) {
+  HLSPROF_CHECK(size > 0, "local array must have positive size");
+  HLSPROF_CHECK(ports >= 1 && ports <= 4, "local array ports in [1,4]");
+  LocalArray a;
+  a.name = name;
+  a.elem = elem;
+  a.size = size;
+  a.ports = ports;
+  k_.local_arrays.push_back(a);
+  return LocalHandle{static_cast<LocalArrayId>(k_.local_arrays.size() - 1),
+                     elem};
+}
+
+Val KernelBuilder::load_local(LocalHandle a, Val index, int lanes) {
+  HLSPROF_CHECK(a.id >= 0, "load from unbound local array");
+  HLSPROF_CHECK(index.valid() && index.type().is_int() &&
+                    index.type().lanes == 1,
+                "local load index must be scalar integer");
+  Op op;
+  op.opcode = Opcode::load_local;
+  op.type = Type::make(a.elem, lanes);
+  op.operands = {index.id()};
+  op.array = a.id;
+  return emit(op);
+}
+
+void KernelBuilder::store_local(LocalHandle a, Val index, Val value) {
+  HLSPROF_CHECK(a.id >= 0, "store to unbound local array");
+  HLSPROF_CHECK(index.valid() && index.type().is_int() &&
+                    index.type().lanes == 1,
+                "local store index must be scalar integer");
+  HLSPROF_CHECK(value.valid() && value.type().scalar == a.elem,
+                "local store scalar type mismatch");
+  Op op;
+  op.opcode = Opcode::store_local;
+  op.type = value.type();
+  op.operands = {index.id(), value.id()};
+  op.array = a.id;
+  emit(op);
+}
+
+void KernelBuilder::preload(LocalHandle dst, Val dst_index, PtrHandle src,
+                            Val src_index, Val count) {
+  HLSPROF_CHECK(dst.id >= 0 && src.id >= 0, "preload with unbound handles");
+  HLSPROF_CHECK(src.elem.scalar == dst.elem,
+                "preload element type mismatch between source and "
+                "destination");
+  for (Val v : {dst_index, src_index, count}) {
+    HLSPROF_CHECK(v.valid() && v.type().is_int() && v.type().lanes == 1,
+                  "preload indices/count must be scalar integers");
+  }
+  Op op;
+  op.opcode = Opcode::preload;
+  op.type = src.elem;
+  op.operands = {src_index.id(), dst_index.id(), count.id()};
+  op.arg = src.id;
+  op.array = dst.id;
+  emit(op);
+}
+
+// ---- Vars ---------------------------------------------------------------------
+
+VarHandle KernelBuilder::var(const std::string& name, Type type) {
+  Var v;
+  v.name = name;
+  v.type = type;
+  k_.vars.push_back(v);
+  return VarHandle(this, static_cast<VarId>(k_.vars.size() - 1), type);
+}
+
+VarHandle KernelBuilder::var_init(const std::string& name, Val init) {
+  HLSPROF_CHECK(init.valid(), "var_init with invalid value");
+  VarHandle h = var(name, init.type());
+  h.set(init);
+  return h;
+}
+
+// ---- Control --------------------------------------------------------------------
+
+void KernelBuilder::for_loop(const std::string& name, Val init, Val bound,
+                             Val step, const std::function<void(Val)>& body,
+                             LoopOpts opts) {
+  HLSPROF_CHECK(init.valid() && bound.valid() && step.valid(),
+                "for_loop bounds must be valid values");
+  HLSPROF_CHECK(init.type().is_int() && init.type().lanes == 1,
+                "induction values must be scalar integers");
+  HLSPROF_CHECK(init.type() == bound.type() && init.type() == step.type(),
+                "for_loop init/bound/step types must match");
+
+  Var iv;
+  iv.name = name;
+  iv.type = init.type();
+  k_.vars.push_back(iv);
+  const auto iv_id = static_cast<VarId>(k_.vars.size() - 1);
+
+  LoopStmt loop;
+  loop.name = name;
+  loop.induction = iv_id;
+  loop.init = init.id();
+  loop.bound = bound.id();
+  loop.step = step.id();
+  loop.pipeline = opts.pipeline;
+  loop.trip_hint = opts.trip_hint;
+  loop.id = k_.num_loops++;
+  loop.body = std::make_unique<Region>();
+
+  region_stack_.push_back(loop.body.get());
+  // One var_read of the induction variable at the top of the body; the
+  // closure receives its Val and may reuse it freely.
+  Op rd;
+  rd.opcode = Opcode::var_read;
+  rd.type = iv.type;
+  rd.var = iv_id;
+  Val iv_val = emit(rd);
+  body(iv_val);
+  region_stack_.pop_back();
+
+  current().stmts.push_back(std::move(loop));
+}
+
+void KernelBuilder::if_then(Val cond, const std::function<void()>& then_body) {
+  if_then_else(cond, then_body, [] {});
+}
+
+void KernelBuilder::if_then_else(Val cond,
+                                 const std::function<void()>& then_body,
+                                 const std::function<void()>& else_body) {
+  HLSPROF_CHECK(cond.valid() && cond.type() == Type::i32(),
+                "if condition must be scalar i32");
+  IfStmt s;
+  s.cond = cond.id();
+  s.then_body = std::make_unique<Region>();
+  s.else_body = std::make_unique<Region>();
+
+  region_stack_.push_back(s.then_body.get());
+  then_body();
+  region_stack_.pop_back();
+
+  region_stack_.push_back(s.else_body.get());
+  else_body();
+  region_stack_.pop_back();
+
+  current().stmts.push_back(std::move(s));
+}
+
+void KernelBuilder::critical(int lock_id, const std::function<void()>& body) {
+  HLSPROF_CHECK(lock_id >= 0 && lock_id < 64, "lock id out of range");
+  CriticalStmt s;
+  s.lock_id = lock_id;
+  s.body = std::make_unique<Region>();
+  if (lock_id >= k_.num_locks) k_.num_locks = lock_id + 1;
+
+  region_stack_.push_back(s.body.get());
+  body();
+  region_stack_.pop_back();
+
+  current().stmts.push_back(std::move(s));
+}
+
+void KernelBuilder::concurrent(std::vector<std::function<void()>> branches,
+                               bool user_asserted_independent) {
+  HLSPROF_CHECK(branches.size() >= 2, "concurrent needs at least 2 branches");
+  ConcurrentStmt s;
+  s.user_asserted_independent = user_asserted_independent;
+  for (const auto& fn : branches) {
+    auto region = std::make_unique<Region>();
+    region_stack_.push_back(region.get());
+    fn();
+    region_stack_.pop_back();
+    s.branches.push_back(std::move(region));
+  }
+  current().stmts.push_back(std::move(s));
+}
+
+void KernelBuilder::barrier(int barrier_id) {
+  current().stmts.push_back(BarrierStmt{barrier_id});
+}
+
+Kernel KernelBuilder::finish() && {
+  HLSPROF_CHECK(!finished_, "finish() called twice");
+  HLSPROF_CHECK(region_stack_.size() == 1, "unbalanced region nesting");
+  finished_ = true;
+  verify(k_);  // throws Error with a diagnostic on malformed IR
+  return std::move(k_);
+}
+
+// ---- Operator sugar -------------------------------------------------------------
+
+namespace {
+KernelBuilder* need_builder(Val a, Val b = Val()) {
+  KernelBuilder* bd = a.valid() ? a.builder() : b.builder();
+  HLSPROF_CHECK(bd != nullptr, "operator on unbound Val");
+  if (a.valid() && b.valid()) {
+    HLSPROF_CHECK(a.builder() == b.builder(),
+                  "operands belong to different builders");
+  }
+  return bd;
+}
+
+Val make_imm(KernelBuilder* bd, Type like, double v) {
+  switch (like.scalar) {
+    case Scalar::i32: return bd->c32(static_cast<std::int64_t>(v));
+    case Scalar::i64: return bd->c64(static_cast<std::int64_t>(v));
+    case Scalar::f32: return bd->cf32(v);
+    case Scalar::f64: return bd->cf64(v);
+  }
+  fail("unreachable scalar kind");
+}
+}  // namespace
+
+Val imm_like(Val like, double v) {
+  return make_imm(need_builder(like), like.type().element(), v);
+}
+
+Val operator+(Val a, Val b) { return need_builder(a, b)->add(a, b); }
+Val operator-(Val a, Val b) { return need_builder(a, b)->sub(a, b); }
+Val operator*(Val a, Val b) { return need_builder(a, b)->mul(a, b); }
+Val operator/(Val a, Val b) { return need_builder(a, b)->div(a, b); }
+Val operator%(Val a, Val b) { return need_builder(a, b)->rem(a, b); }
+Val operator-(Val a) { return need_builder(a)->neg(a); }
+Val operator<(Val a, Val b) { return need_builder(a, b)->lt(a, b); }
+Val operator<=(Val a, Val b) { return need_builder(a, b)->le(a, b); }
+Val operator>(Val a, Val b) { return need_builder(a, b)->gt(a, b); }
+Val operator>=(Val a, Val b) { return need_builder(a, b)->ge(a, b); }
+Val operator==(Val a, Val b) { return need_builder(a, b)->eq(a, b); }
+Val operator!=(Val a, Val b) { return need_builder(a, b)->ne(a, b); }
+
+Val operator+(Val a, std::int64_t b) { return a + imm_like(a, double(b)); }
+Val operator+(std::int64_t a, Val b) { return imm_like(b, double(a)) + b; }
+Val operator-(Val a, std::int64_t b) { return a - imm_like(a, double(b)); }
+Val operator*(Val a, std::int64_t b) { return a * imm_like(a, double(b)); }
+Val operator*(std::int64_t a, Val b) { return imm_like(b, double(a)) * b; }
+Val operator/(Val a, std::int64_t b) { return a / imm_like(a, double(b)); }
+Val operator%(Val a, std::int64_t b) { return a % imm_like(a, double(b)); }
+Val operator<(Val a, std::int64_t b) { return a < imm_like(a, double(b)); }
+Val operator+(Val a, double b) { return a + imm_like(a, b); }
+Val operator*(Val a, double b) { return a * imm_like(a, b); }
+
+}  // namespace hlsprof::ir

@@ -1,0 +1,224 @@
+// Embedded kernel-construction DSL. This plays the role of the paper's
+// OpenMP 4.0 target-offloading frontend (§III-A): `KernelBuilder`
+// corresponds to a `#pragma omp target parallel` region, pointer args carry
+// map() clauses, `critical()` maps to the hardware semaphore, and vector
+// loads/stores express the 128-bit VECTOR accesses of Figs. 4/5.
+//
+// Usage sketch (the naive GEMM of Fig. 3):
+//
+//   KernelBuilder kb("gemm_v1", /*num_threads=*/8);
+//   auto A   = kb.ptr_arg("A", Type::f32(), MapDir::to, n * n);
+//   auto C   = kb.ptr_arg("C", Type::f32(), MapDir::from, n * n);
+//   Val dim  = kb.i32_arg("DIM");
+//   Val tid  = kb.thread_id();
+//   kb.for_loop("i", kb.c32(0), dim, kb.c32(1), [&](Val i) { ... });
+//   Kernel k = std::move(kb).finish();
+//
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace hlsprof::ir {
+
+class KernelBuilder;
+
+/// Lightweight SSA value handle tied to its builder. Copyable; all
+/// arithmetic operators emit ops into the builder's current region.
+class Val {
+ public:
+  Val() = default;
+  Val(KernelBuilder* b, ValueId id) : b_(b), id_(id) {}
+
+  bool valid() const { return b_ != nullptr && id_ != kNoValue; }
+  ValueId id() const { return id_; }
+  KernelBuilder* builder() const { return b_; }
+  Type type() const;
+
+ private:
+  KernelBuilder* b_ = nullptr;
+  ValueId id_ = kNoValue;
+};
+
+/// Handle for an external-memory pointer argument.
+struct PtrHandle {
+  ArgId id = -1;
+  Type elem;
+};
+
+/// Handle for a per-thread local (BRAM) array.
+struct LocalHandle {
+  LocalArrayId id = -1;
+  Scalar elem = Scalar::f32;
+};
+
+/// Handle for a mutable per-thread scalar register.
+class VarHandle {
+ public:
+  VarHandle() = default;
+  VarHandle(KernelBuilder* b, VarId id, Type type)
+      : b_(b), id_(id), type_(type) {}
+
+  /// Emit a read of the current value.
+  Val get() const;
+  /// Emit a write.
+  void set(Val v) const;
+  VarId id() const { return id_; }
+  Type type() const { return type_; }
+
+ private:
+  KernelBuilder* b_ = nullptr;
+  VarId id_ = -1;
+  Type type_;
+};
+
+/// Optional per-loop attributes.
+struct LoopOpts {
+  bool pipeline = true;        // candidate for pipelined scheduling
+  std::int64_t trip_hint = -1; // static trip count, if known
+};
+
+class KernelBuilder {
+ public:
+  KernelBuilder(std::string name, int num_threads);
+
+  KernelBuilder(const KernelBuilder&) = delete;
+  KernelBuilder& operator=(const KernelBuilder&) = delete;
+
+  // ---- Arguments -------------------------------------------------------
+  PtrHandle ptr_arg(const std::string& name, Type elem, MapDir map,
+                    std::int64_t count);
+  Val i32_arg(const std::string& name);
+  Val i64_arg(const std::string& name);
+  Val f32_arg(const std::string& name);
+  Val f64_arg(const std::string& name);
+
+  // ---- Constants and thread context ------------------------------------
+  Val c32(std::int64_t v);
+  Val c64(std::int64_t v);
+  Val cf32(double v);
+  Val cf64(double v);
+  Val thread_id();
+  Val num_threads_val();
+
+  // ---- Arithmetic (type-directed: float types emit f-ops) --------------
+  Val add(Val a, Val b);
+  Val sub(Val a, Val b);
+  Val mul(Val a, Val b);
+  Val div(Val a, Val b);
+  Val rem(Val a, Val b);
+  Val neg(Val a);
+  Val band(Val a, Val b);
+  Val bor(Val a, Val b);
+  Val bxor(Val a, Val b);
+  Val shl(Val a, Val b);
+  Val ashr(Val a, Val b);
+  Val lt(Val a, Val b);
+  Val le(Val a, Val b);
+  Val gt(Val a, Val b);
+  Val ge(Val a, Val b);
+  Val eq(Val a, Val b);
+  Val ne(Val a, Val b);
+  Val select(Val cond, Val a, Val b);
+  Val cast(Val v, Type to);
+  Val to_f32(Val v) { return cast(v, Type::f32(v.type().lanes)); }
+  Val to_i32(Val v) { return cast(v, Type::i32(v.type().lanes)); }
+
+  // ---- Vector ops -------------------------------------------------------
+  Val broadcast(Val scalar, int lanes);
+  Val extract(Val vec, int lane);
+  Val insert(Val vec, Val scalar, int lane);
+  Val reduce_add(Val vec);
+
+  // ---- Memory -----------------------------------------------------------
+  /// External (DRAM) load of `lanes` consecutive elements at `index`.
+  Val load(PtrHandle p, Val index, int lanes = 1);
+  void store(PtrHandle p, Val index, Val value);
+
+  LocalHandle local_array(const std::string& name, Scalar elem,
+                          std::int64_t size, int ports = 2);
+  Val load_local(LocalHandle a, Val index, int lanes = 1);
+  void store_local(LocalHandle a, Val index, Val value);
+
+  /// DMA burst through the preloader block (paper Fig. 1): copy `count`
+  /// consecutive elements from external `src` at `src_index` into local
+  /// array `dst` at `dst_index`. Element types must match.
+  void preload(LocalHandle dst, Val dst_index, PtrHandle src, Val src_index,
+               Val count);
+
+  // ---- Mutable registers --------------------------------------------------
+  VarHandle var(const std::string& name, Type type);
+  VarHandle var_init(const std::string& name, Val init);
+
+  // ---- Control ------------------------------------------------------------
+  /// for (iv = init; iv < bound; iv += step) body(iv)
+  void for_loop(const std::string& name, Val init, Val bound, Val step,
+                const std::function<void(Val)>& body,
+                LoopOpts opts = LoopOpts{});
+  void if_then(Val cond, const std::function<void()>& then_body);
+  void if_then_else(Val cond, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body);
+  /// #pragma omp critical — body guarded by hardware semaphore `lock_id`.
+  void critical(int lock_id, const std::function<void()>& body);
+  /// Datapath-concurrent branches (see ConcurrentStmt).
+  void concurrent(std::vector<std::function<void()>> branches,
+                  bool user_asserted_independent);
+  /// #pragma omp barrier.
+  void barrier(int barrier_id = 0);
+
+  /// Finalize: verifies and returns the kernel. The builder is consumed.
+  Kernel finish() &&;
+
+  // ---- Introspection (used by Val/VarHandle and the verifier) ----------
+  const Kernel& kernel() const { return k_; }
+  Type type_of(ValueId v) const;
+
+ private:
+  friend class Val;
+  friend class VarHandle;
+
+  Val emit(Op op);
+  Region& current() { return *region_stack_.back(); }
+  /// Insert implicit broadcasts/asserts so a/b agree in lanes and scalar.
+  void unify(Val& a, Val& b);
+  Val binary(Opcode int_op, Opcode float_op, Val a, Val b);
+  Val compare(Opcode op, Val a, Val b);
+
+  Kernel k_;
+  std::vector<Region*> region_stack_;
+  bool finished_ = false;
+};
+
+// Operator sugar on Val (plus mixed Val/immediate forms). Immediates adopt
+// the other operand's scalar type.
+Val operator+(Val a, Val b);
+Val operator-(Val a, Val b);
+Val operator*(Val a, Val b);
+Val operator/(Val a, Val b);
+Val operator%(Val a, Val b);
+Val operator-(Val a);
+Val operator<(Val a, Val b);
+Val operator<=(Val a, Val b);
+Val operator>(Val a, Val b);
+Val operator>=(Val a, Val b);
+Val operator==(Val a, Val b);
+Val operator!=(Val a, Val b);
+
+Val operator+(Val a, std::int64_t b);
+Val operator+(std::int64_t a, Val b);
+Val operator-(Val a, std::int64_t b);
+Val operator*(Val a, std::int64_t b);
+Val operator*(std::int64_t a, Val b);
+Val operator/(Val a, std::int64_t b);
+Val operator%(Val a, std::int64_t b);
+Val operator<(Val a, std::int64_t b);
+Val operator+(Val a, double b);
+Val operator*(Val a, double b);
+
+/// Immediate of the same scalar type as `like`.
+Val imm_like(Val like, double v);
+
+}  // namespace hlsprof::ir

@@ -1,0 +1,93 @@
+// Operation set of the kernel IR. The IR is SSA-like: every op produces at
+// most one value; mutable state lives in explicit Vars (loop-carried
+// scalars) and local arrays, mirroring what Nymble's datapath registers and
+// BRAMs hold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace hlsprof::ir {
+
+/// Index of an op in the kernel arena; ops that produce a value are referred
+/// to by their index.
+using ValueId = std::int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+/// Index of a kernel argument (scalar or pointer).
+using ArgId = std::int32_t;
+/// Index of a mutable per-thread scalar register (loop-carried variable).
+using VarId = std::int32_t;
+/// Index of a per-thread local (BRAM) array.
+using LocalArrayId = std::int32_t;
+
+enum class Opcode : std::uint8_t {
+  // Constants and kernel context.
+  const_int,    // i_imm
+  const_float,  // f_imm
+  thread_id,    // omp_get_thread_num()
+  num_threads,  // omp_get_num_threads()
+  read_arg,     // scalar kernel argument (arg)
+
+  // Integer arithmetic / logic (operands and result share the type).
+  add, sub, mul, divs, rems, neg,
+  and_, or_, xor_, shl, ashr,
+  cmp_lt, cmp_le, cmp_gt, cmp_ge, cmp_eq, cmp_ne,  // result i32 0/1
+  select,  // (cond, a, b) — cond scalar i32, a/b of result type
+
+  // Floating point.
+  fadd, fsub, fmul, fdiv, fneg,
+
+  // Conversions (between result type and operand type, lane-wise).
+  cast,
+
+  // Vector shuffles.
+  broadcast,    // scalar -> all lanes
+  extract,      // (vec) lane index in i_imm -> scalar
+  insert,       // (vec, scalar) lane index in i_imm -> vec
+  reduce_add,   // (vec) -> scalar sum of lanes
+
+  // Memory. Indices are in *elements* of the pointee scalar type; a vector
+  // load/store of L lanes moves L consecutive elements.
+  load_ext,     // (index) from pointer arg `arg`; VLO (variable latency)
+  store_ext,    // (index, value) to pointer arg `arg`; VLO
+  load_local,   // (index) from local array `array`
+  store_local,  // (index, value) to local array `array`
+  // DMA burst through the preloader block (paper Fig. 1): copy
+  // (src_index, dst_index, count) elements from pointer arg `arg` into
+  // local array `array`. Uses the preloader's own bus master, so it
+  // bursts at line granularity instead of element-wise thread-port
+  // accesses. VLO.
+  preload,
+
+  // Mutable scalar registers.
+  var_read,     // read Var `var`
+  var_write,    // (value) write Var `var`
+};
+
+const char* opcode_name(Opcode op);
+
+/// True for opcodes whose result is a usable SSA value.
+bool produces_value(Opcode op);
+
+/// True for variable-latency operations (external memory), which the
+/// Nymble-MT controller must be able to stall on (paper §III-B).
+bool is_vlo(Opcode op);
+
+/// One IR operation. Payload fields are meaningful only for the opcodes
+/// that use them (documented next to each opcode above).
+struct Op {
+  Opcode opcode = Opcode::const_int;
+  Type type;                       // result type (stores: stored value type)
+  std::vector<ValueId> operands;
+  std::int64_t i_imm = 0;
+  double f_imm = 0.0;
+  ArgId arg = -1;
+  VarId var = -1;
+  LocalArrayId array = -1;
+};
+
+}  // namespace hlsprof::ir

@@ -1,0 +1,15 @@
+// Human-readable dump of kernel IR (for debugging, tests, and README
+// examples). The format is stable enough for golden-substring tests but is
+// not a parseable interchange format.
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace hlsprof::ir {
+
+/// Multi-line textual rendering of the whole kernel.
+std::string print(const Kernel& k);
+
+}  // namespace hlsprof::ir

@@ -1,0 +1,14 @@
+// Structural and type verification of kernel IR. Run automatically by
+// KernelBuilder::finish(); also usable on hand-built kernels in tests.
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace hlsprof::ir {
+
+/// Throws hlsprof::Error with a diagnostic message if the kernel is
+/// malformed: use-before-def, out-of-scope uses, bad operand counts or
+/// types, dangling arg/var/array references, or stores appearing as values.
+void verify(const Kernel& k);
+
+}  // namespace hlsprof::ir

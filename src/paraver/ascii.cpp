@@ -1,0 +1,96 @@
+#include "paraver/ascii.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::paraver {
+
+using sim::ThreadState;
+
+namespace {
+
+char state_char(ThreadState s) {
+  switch (s) {
+    case ThreadState::idle: return '.';
+    case ThreadState::running: return '#';
+    case ThreadState::critical: return 'C';
+    case ThreadState::spinning: return 'S';
+  }
+  return '?';
+}
+
+const char* state_color(ThreadState s) {
+  switch (s) {
+    case ThreadState::idle: return "\x1b[90m";     // grey (black on black)
+    case ThreadState::running: return "\x1b[32m";  // green
+    case ThreadState::critical: return "\x1b[34m"; // blue
+    case ThreadState::spinning: return "\x1b[31m"; // red
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string render_state_view(const trace::TimedTrace& t, AsciiOptions opts) {
+  HLSPROF_CHECK(opts.width > 0, "state view needs positive width");
+  std::string out;
+  if (t.duration == 0) return "(empty trace)\n";
+
+  for (int th = 0; th < t.num_threads; ++th) {
+    // Majority state per column.
+    std::vector<std::array<cycle_t, 4>> buckets(
+        std::size_t(opts.width), std::array<cycle_t, 4>{0, 0, 0, 0});
+    for (const trace::StateInterval& iv : t.thread_states[std::size_t(th)]) {
+      // Spread the interval across the columns it covers.
+      const double col_w = double(t.duration) / double(opts.width);
+      const int c0 = std::min(opts.width - 1, int(double(iv.begin) / col_w));
+      const int c1 =
+          std::min(opts.width - 1, int(double(iv.end - 1) / col_w));
+      for (int c = c0; c <= c1; ++c) {
+        const cycle_t col_begin = cycle_t(double(c) * col_w);
+        const cycle_t col_end = cycle_t(double(c + 1) * col_w);
+        const cycle_t lo = std::max(iv.begin, col_begin);
+        const cycle_t hi = std::min(iv.end, std::max(col_end, col_begin + 1));
+        if (hi > lo) {
+          buckets[std::size_t(c)][std::size_t(iv.state)] += hi - lo;
+        }
+      }
+    }
+    out += strf("T%-2d |", th);
+    for (int c = 0; c < opts.width; ++c) {
+      const auto& b = buckets[std::size_t(c)];
+      int best = 0;
+      for (int s = 1; s < 4; ++s) {
+        if (b[std::size_t(s)] > b[std::size_t(best)]) best = s;
+      }
+      // Give rare-but-important states (spinning/critical) visibility:
+      // if any spinning/critical time exists and running merely ties the
+      // visual, still prefer showing them when they exceed 25% of the
+      // column.
+      const cycle_t total = b[0] + b[1] + b[2] + b[3];
+      for (int s : {3, 2}) {
+        if (total > 0 && b[std::size_t(s)] * 4 >= total) best = s;
+      }
+      const auto st = ThreadState(best);
+      if (opts.color) {
+        out += state_color(st);
+        out.push_back(state_char(st));
+        out += "\x1b[0m";
+      } else {
+        out.push_back(state_char(st));
+      }
+    }
+    out += "|\n";
+  }
+  if (opts.legend) {
+    out += strf("     0%*s%llu cycles\n", opts.width - 1, "",
+                static_cast<unsigned long long>(t.duration));
+    out += "     legend: '.' Idle  '#' Running  'C' Critical  'S' Spinning\n";
+  }
+  return out;
+}
+
+}  // namespace hlsprof::paraver

@@ -1,0 +1,24 @@
+// Terminal rendering of the Paraver state view (the paper's Figs. 6 and
+// 11-13): one lane per hardware thread, one character per time column,
+// showing the majority state of that window. Used by the examples so the
+// "visualization" half of the reproduction is inspectable without the
+// Paraver GUI.
+#pragma once
+
+#include <string>
+
+#include "trace/timed_trace.hpp"
+
+namespace hlsprof::paraver {
+
+struct AsciiOptions {
+  int width = 100;      // time columns
+  bool color = false;   // ANSI colors matching the paper's legend
+  bool legend = true;
+};
+
+/// Characters: '.' Idle, '#' Running, 'C' Critical, 'S' Spinning.
+std::string render_state_view(const trace::TimedTrace& t,
+                              AsciiOptions opts = AsciiOptions{});
+
+}  // namespace hlsprof::paraver

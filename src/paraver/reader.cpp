@@ -1,0 +1,121 @@
+#include "paraver/reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::paraver {
+
+namespace {
+
+sim::ThreadState state_from_id(int id) {
+  switch (id) {
+    case 0: return sim::ThreadState::idle;
+    case 1: return sim::ThreadState::running;
+    case 2: return sim::ThreadState::critical;
+    case 3: return sim::ThreadState::spinning;
+  }
+  fail(strf("unknown Paraver state id %d", id));
+}
+
+trace::EventKind kind_from_type(int type) {
+  const int k = type - 42000000;
+  HLSPROF_CHECK(k >= 1 && k <= 5,
+                strf("unknown Paraver event type %d", type));
+  return trace::EventKind(k);
+}
+
+std::vector<unsigned long long> parse_fields(const std::string& line) {
+  std::vector<unsigned long long> out;
+  for (const std::string& f : split(line, ':')) {
+    out.push_back(std::stoull(f));  // .prv fields are non-negative
+  }
+  return out;
+}
+
+}  // namespace
+
+ParseResult parse_prv(const std::string& prv_text) {
+  ParseResult result;
+  trace::TimedTrace& t = result.trace;
+
+  std::istringstream in(prv_text);
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (starts_with(line, "#Paraver")) {
+      HLSPROF_CHECK(!have_header, "duplicate #Paraver header");
+      have_header = true;
+      // #Paraver (...):endTime:nNodes(cpus):nAppl:appInfo
+      const auto paren = line.find(')');
+      HLSPROF_CHECK(paren != std::string::npos, "malformed header");
+      const auto fields = split(line.substr(paren + 2), ':');
+      HLSPROF_CHECK(fields.size() >= 4, "malformed header field count");
+      t.duration = cycle_t(std::stoull(fields[0]));
+      // nNodes(cpus)
+      const auto open2 = fields[1].find('(');
+      HLSPROF_CHECK(open2 != std::string::npos, "malformed node field");
+      const int cpus = std::stoi(
+          fields[1].substr(open2 + 1, fields[1].find(')') - open2 - 1));
+      t.num_threads = cpus;
+      t.thread_states.resize(std::size_t(cpus));
+      continue;
+    }
+    HLSPROF_CHECK(have_header, "record before #Paraver header");
+    const auto f = parse_fields(line);
+    HLSPROF_CHECK(!f.empty(), "empty record");
+    switch (f[0]) {
+      case 1: {  // state: 1:cpu:appl:task:thread:begin:end:state
+        HLSPROF_CHECK(f.size() == 8, "state record needs 8 fields");
+        const int th = int(f[4]) - 1;
+        HLSPROF_CHECK(th >= 0 && th < t.num_threads,
+                      "state record thread out of range");
+        t.thread_states[std::size_t(th)].push_back(trace::StateInterval{
+            state_from_id(int(f[7])), cycle_t(f[5]), cycle_t(f[6])});
+        break;
+      }
+      case 2: {  // event: 2:cpu:appl:task:thread:time:type:value[...]
+        HLSPROF_CHECK(f.size() >= 8 && f.size() % 2 == 0,
+                      "event record needs 6 fields + type/value pairs");
+        const int th = int(f[4]) - 1;
+        HLSPROF_CHECK(th >= 0 && th < t.num_threads,
+                      "event record thread out of range");
+        for (std::size_t i = 6; i + 1 < f.size(); i += 2) {
+          t.events.push_back(trace::EventSample{
+              kind_from_type(int(f[i])), thread_id_t(th), cycle_t(f[5]),
+              std::uint64_t(f[i + 1])});
+        }
+        break;
+      }
+      case 3: {  // communication: host<->device transfer (extension)
+        HLSPROF_CHECK(f.size() == 15, "communication record needs 15 fields");
+        const int th = int(f[4]) - 1;
+        HLSPROF_CHECK(th >= 0 && th < t.num_threads,
+                      "communication record thread out of range");
+        t.comms.push_back(trace::CommRecord{
+            thread_id_t(th), cycle_t(f[5]), cycle_t(f[11]),
+            std::uint64_t(f[13]), int(f[14])});
+        ++result.comm_records;
+        break;
+      }
+      default:
+        fail(strf("unknown Paraver record type %llu", f[0]));
+    }
+  }
+  HLSPROF_CHECK(have_header, "missing #Paraver header");
+  return result;
+}
+
+ParseResult read_prv_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  HLSPROF_CHECK(f.good(), "cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_prv(ss.str());
+}
+
+}  // namespace hlsprof::paraver

@@ -1,0 +1,150 @@
+#include "paraver/writer.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::paraver {
+
+using sim::ThreadState;
+using trace::EventKind;
+
+int state_id(ThreadState s) {
+  switch (s) {
+    case ThreadState::idle: return 0;
+    case ThreadState::running: return 1;
+    case ThreadState::critical: return 2;
+    case ThreadState::spinning: return 3;
+  }
+  return 0;
+}
+
+int event_type_id(EventKind k) {
+  return 42000000 + int(k);
+}
+
+namespace {
+
+std::string prv_header(const trace::TimedTrace& t) {
+  // #Paraver (dd/mm/yyyy at hh:mm):endTime:nNodes(cpus):nAppl:appInfo
+  // One node whose CPU count equals the hardware-thread count; one
+  // application with one task of num_threads threads, all on node 1.
+  std::string threads;
+  for (int i = 0; i < t.num_threads; ++i) {
+    if (i) threads += ",";
+    threads += "1";  // node of thread i
+  }
+  return strf("#Paraver (07/07/2026 at 12:00):%llu:1(%d):1:1(%d:1)\n",
+              static_cast<unsigned long long>(t.duration), t.num_threads,
+              t.num_threads);
+}
+
+}  // namespace
+
+ParaverFiles to_paraver(const trace::TimedTrace& t,
+                        const std::string& app_name) {
+  ParaverFiles out;
+
+  // ---- .prv -----------------------------------------------------------
+  out.prv = prv_header(t);
+  // State records: 1:cpu:appl:task:thread:begin:end:state
+  for (int th = 0; th < t.num_threads; ++th) {
+    for (const trace::StateInterval& iv : t.thread_states[std::size_t(th)]) {
+      out.prv += strf("1:%d:1:1:%d:%llu:%llu:%d\n", th + 1, th + 1,
+                      static_cast<unsigned long long>(iv.begin),
+                      static_cast<unsigned long long>(iv.end),
+                      state_id(iv.state));
+    }
+  }
+  // Event records: 2:cpu:appl:task:thread:time:type:value
+  for (const trace::EventSample& e : t.events) {
+    out.prv += strf("2:%u:1:1:%u:%llu:%d:%llu\n", e.thread + 1, e.thread + 1,
+                    static_cast<unsigned long long>(e.t),
+                    event_type_id(e.kind),
+                    static_cast<unsigned long long>(e.value));
+  }
+  // Communication records (host<->device transfers, an extension beyond
+  // the paper): 3:cpu:appl:task:thread:lsend:psend:
+  //             cpu:appl:task:thread:lrecv:precv:size:tag
+  for (const trace::CommRecord& c : t.comms) {
+    out.prv += strf("3:%u:1:1:%u:%llu:%llu:%u:1:1:%u:%llu:%llu:%llu:%d\n",
+                    c.thread + 1, c.thread + 1,
+                    static_cast<unsigned long long>(c.send),
+                    static_cast<unsigned long long>(c.send), c.thread + 1,
+                    c.thread + 1, static_cast<unsigned long long>(c.recv),
+                    static_cast<unsigned long long>(c.recv),
+                    static_cast<unsigned long long>(c.bytes), c.tag);
+  }
+
+  // ---- .pcf ---------------------------------------------------------------
+  out.pcf =
+      "DEFAULT_OPTIONS\n"
+      "\n"
+      "LEVEL               THREAD\n"
+      "UNITS               NANOSEC\n"
+      "LOOK_BACK           100\n"
+      "SPEED               1\n"
+      "FLAG_ICONS          ENABLED\n"
+      "NUM_OF_STATE_COLORS 1000\n"
+      "YMAX_SCALE          37\n"
+      "\n"
+      "DEFAULT_SEMANTIC\n"
+      "\n"
+      "THREAD_FUNC         State As Is\n"
+      "\n"
+      "STATES\n"
+      "0    Idle\n"
+      "1    Running\n"
+      "2    Critical\n"
+      "3    Spinning\n"
+      "\n"
+      "STATES_COLOR\n"
+      "0    {0,0,0}\n"      // Idle: black (paper Fig. 6 legend)
+      "1    {0,255,0}\n"    // Running: green
+      "2    {0,0,255}\n"    // Critical: blue
+      "3    {255,0,0}\n"    // Spinning: red
+      "\n";
+  const EventKind kinds[] = {EventKind::stall_cycles, EventKind::int_ops,
+                             EventKind::fp_ops, EventKind::bytes_read,
+                             EventKind::bytes_written};
+  const char* kind_labels[] = {
+      "Pipeline stall cycles", "Integer operations",
+      "Floating-point operations", "Bytes read (Avalon)",
+      "Bytes written (Avalon)"};
+  for (int i = 0; i < 5; ++i) {
+    out.pcf += "EVENT_TYPE\n";
+    out.pcf += strf("0    %d    %s\n\n", event_type_id(kinds[i]),
+                    kind_labels[i]);
+  }
+
+  // ---- .row ----------------------------------------------------------------
+  out.row = strf("LEVEL CPU SIZE %d\n", t.num_threads);
+  for (int i = 0; i < t.num_threads; ++i) {
+    out.row += strf("CPU %d (%s)\n", i + 1, app_name.c_str());
+  }
+  out.row += strf("\nLEVEL THREAD SIZE %d\n", t.num_threads);
+  for (int i = 0; i < t.num_threads; ++i) {
+    out.row += strf("HW thread 1.1.%d\n", i + 1);
+  }
+  return out;
+}
+
+void write_paraver(const trace::TimedTrace& t, const std::string& app_name,
+                   const std::string& base_path) {
+  const ParaverFiles files = to_paraver(t, app_name);
+  const struct {
+    const char* ext;
+    const std::string* content;
+  } parts[] = {{".prv", &files.prv}, {".pcf", &files.pcf},
+               {".row", &files.row}};
+  for (const auto& p : parts) {
+    std::ofstream f(base_path + p.ext, std::ios::binary);
+    HLSPROF_CHECK(f.good(), "cannot open '" + base_path + p.ext +
+                                "' for writing");
+    f << *p.content;
+    HLSPROF_CHECK(f.good(), "write failed for '" + base_path + p.ext + "'");
+  }
+}
+
+}  // namespace hlsprof::paraver

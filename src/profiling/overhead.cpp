@@ -1,0 +1,82 @@
+#include "profiling/overhead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hlsprof::profiling {
+
+ProfilingOverhead estimate_overhead(const hls::Design& design,
+                                    const ProfilingConfig& config,
+                                    const OverheadModel& m) {
+  const auto& st = design.stats;
+  const double T = double(st.num_threads);
+  ProfilingOverhead out;
+  OverheadBreakdown& parts = out.parts;
+  double snoop_sources = 0;
+
+  if (config.enable_states) {
+    // Current-state register (2 bits/thread + 32-bit clock), record
+    // assembly, buffer write pointer, and the on-chip line buffer.
+    hls::Area a;
+    a.ff = 2.0 * T + 32.0 + 24.0;
+    a.alm = m.state_tracker_alm_base + m.state_tracker_alm_per_thread * T;
+    a.bram_bits = double(config.buffer_lines) * 512.0;
+    parts.state_tracker = a;
+    snoop_sources += T;  // state bits from the controller & semaphore
+  }
+  if (config.enable_stall_events) {
+    // One accumulator per thread; a snoop input per reordering stage
+    // (every stage that can stall, paper §IV-B2a).
+    hls::Area a;
+    const double sources = std::max(1, st.total_reordering_stages);
+    a.ff = m.ff_per_counter_bit * double(m.counter_bits) * T;
+    a.alm = m.alm_per_snoop_source * sources + 30.0 * T;
+    parts.stall_counters = a;
+    snoop_sources += sources;
+  }
+  if (config.enable_compute_events) {
+    // Activation snoops on every compute stage, with per-thread
+    // aggregation of integer and FP activity (paper §IV-B2b).
+    hls::Area a;
+    const double sources =
+        double(st.fp_op_instances + st.int_op_instances);
+    a.ff = m.ff_per_counter_bit * double(m.counter_bits) * T * 2.0;
+    a.alm = m.alm_per_snoop_source * 0.5 * sources + 30.0 * T;
+    parts.compute_counters = a;
+    snoop_sources += 0.5 * sources;
+  }
+  if (config.enable_memory_events) {
+    // Counters at the central Avalon interface (paper §IV-B2c chose the
+    // interface over per-operation counters to cut the footprint).
+    hls::Area a;
+    const double ports = double(st.bus_ports);
+    a.ff = m.ff_per_counter_bit * double(m.counter_bits) * T * 2.0;
+    a.alm = 30.0 * ports + 20.0 * T;
+    parts.memory_counters = a;
+    snoop_sources += ports;
+  }
+  if (config.enable_states || config.any_events()) {
+    parts.flush_engine =
+        hls::Area{m.flush_alm, m.flush_ff, 0.0, 0.0};
+  }
+
+  out.delta = parts.state_tracker;
+  out.delta += parts.stall_counters;
+  out.delta += parts.compute_counters;
+  out.delta += parts.memory_counters;
+  out.delta += parts.flush_engine;
+
+  out.register_pct =
+      design.area.ff > 0 ? 100.0 * out.delta.ff / design.area.ff : 0.0;
+  out.alm_pct =
+      design.area.alm > 0 ? 100.0 * out.delta.alm / design.area.alm : 0.0;
+
+  (void)snoop_sources;
+  const double mem_taps =
+      double(st.mem_op_instances + st.total_reordering_stages);
+  out.fmax_delta_mhz =
+      std::min(m.fmax_cap, m.fmax_c0 + m.fmax_per_mem_tap * mem_taps);
+  return out;
+}
+
+}  // namespace hlsprof::profiling

@@ -1,0 +1,193 @@
+#include "profiling/unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::profiling {
+
+using trace::EventKind;
+using trace::EventRecord;
+
+namespace {
+EventKind metric_kind(int m) {
+  switch (m) {
+    case 0: return EventKind::stall_cycles;
+    case 1: return EventKind::int_ops;
+    case 2: return EventKind::fp_ops;
+    case 3: return EventKind::bytes_read;
+    case 4: return EventKind::bytes_written;
+  }
+  fail("bad metric index");
+}
+}  // namespace
+
+ProfilingUnit::ProfilingUnit(const hls::Design& design,
+                             const ProfilingConfig& config,
+                             sim::ExternalMemory& mem)
+    : d_(design),
+      cfg_(config),
+      mem_(mem),
+      T_(design.kernel.num_threads),
+      encoder_(design.kernel.num_threads) {
+  HLSPROF_CHECK(cfg_.sampling_period > 0, "sampling period must be positive");
+  HLSPROF_CHECK(cfg_.buffer_lines > cfg_.flush_headroom_lines,
+                "buffer must be larger than the flush headroom");
+  trace_base_ = mem_.allocate("profiling-trace", cfg_.trace_region_bytes);
+  state_now_.assign(std::size_t(T_), 0 /*idle*/);
+  bins_.reserve(std::size_t(kMetrics * T_));
+  for (int i = 0; i < kMetrics * T_; ++i) {
+    bins_.emplace_back(cfg_.sampling_period);
+  }
+}
+
+void ProfilingUnit::note_time(cycle_t t) {
+  high_water_ = std::max(high_water_, t);
+  // Finalize windows a bounded lag behind the high-water mark:
+  // late-arriving aggregates (concurrent-branch compute, request-side
+  // skew the paper also accepts) are still accounted within the lag.
+  const cycle_t lag = std::max(cfg_.finalize_lag, cfg_.sampling_period);
+  if (cfg_.any_events() && high_water_ > lag) {
+    finalize_windows_up_to(high_water_ - lag);
+  }
+}
+
+void ProfilingUnit::on_state(thread_id_t tid, sim::ThreadState state,
+                             cycle_t t) {
+  if (!cfg_.enable_states) return;
+  HLSPROF_CHECK(tid < thread_id_t(T_), "state for unknown thread");
+  note_time(t);
+  const auto code = std::uint8_t(state);
+  if (state_now_[tid] == code && last_state_record_t_ != kNoCycle) return;
+  // Coalesce multiple changes in the same cycle into one record: defer
+  // emission until the clock advances (paper §IV-B1: "because the state
+  // can change for multiple threads at once ... we record the current
+  // state for all threads together").
+  if (last_state_record_t_ != kNoCycle && last_state_record_t_ != t) {
+    append_state_record(last_state_record_t_);
+  }
+  state_now_[tid] = code;
+  last_state_record_t_ = t;
+  state_dirty_ = true;
+}
+
+void ProfilingUnit::append_state_record(cycle_t t) {
+  const int completed =
+      encoder_.append_state(std::uint32_t(t & 0xffffffffULL), state_now_);
+  buffered_lines_ += std::size_t(completed);
+  ++state_records_;
+  state_dirty_ = false;
+  maybe_flush(t, /*force=*/false);
+}
+
+void ProfilingUnit::on_stall(thread_id_t tid, cycle_t t, cycle_t cycles) {
+  if (!cfg_.enable_stall_events) return;
+  note_time(t);
+  bins_[std::size_t(0 * T_ + int(tid))].add(t, double(cycles));
+}
+
+void ProfilingUnit::on_compute(thread_id_t tid, long long int_ops,
+                               long long fp_ops, cycle_t t0, cycle_t t1) {
+  if (!cfg_.enable_compute_events) return;
+  note_time(t1);
+  if (int_ops > 0) {
+    bins_[std::size_t(1 * T_ + int(tid))].add_range(t0, t1, double(int_ops));
+  }
+  if (fp_ops > 0) {
+    bins_[std::size_t(2 * T_ + int(tid))].add_range(t0, t1, double(fp_ops));
+  }
+}
+
+void ProfilingUnit::on_mem(thread_id_t tid, cycle_t t, std::uint32_t bytes,
+                           bool is_write) {
+  if (!cfg_.enable_memory_events) return;
+  note_time(t);
+  bins_[std::size_t((is_write ? 4 : 3) * T_ + int(tid))].add(t, double(bytes));
+}
+
+void ProfilingUnit::finalize_windows_up_to(cycle_t limit) {
+  while ((cycle_t(next_window_) + 1) * cfg_.sampling_period <= limit) {
+    emit_window(next_window_, (cycle_t(next_window_) + 1) * cfg_.sampling_period);
+    ++next_window_;
+  }
+}
+
+void ProfilingUnit::emit_window(std::size_t w, cycle_t t_emit) {
+  bool any = false;
+  for (int m = 0; m < kMetrics; ++m) {
+    const bool enabled = (m == 0 && cfg_.enable_stall_events) ||
+                         ((m == 1 || m == 2) && cfg_.enable_compute_events) ||
+                         ((m == 3 || m == 4) && cfg_.enable_memory_events);
+    if (!enabled) continue;
+    for (int t = 0; t < T_; ++t) {
+      const double raw = bins_[std::size_t(m * T_ + t)].bin(w);
+      const auto v = std::uint64_t(std::llround(raw));
+      if (v == 0) continue;  // zero-suppression keeps the trace compact
+      EventRecord r;
+      r.kind = metric_kind(m);
+      r.thread = std::uint8_t(t);
+      r.clock32 =
+          std::uint32_t((cycle_t(w) * cfg_.sampling_period) & 0xffffffffULL);
+      r.value = v;
+      buffered_lines_ += std::size_t(encoder_.append_event(r));
+      ++event_records_;
+      any = true;
+    }
+  }
+  if (any) maybe_flush(t_emit, /*force=*/false);
+}
+
+void ProfilingUnit::maybe_flush(cycle_t t, bool force) {
+  const std::size_t fill = buffered_lines_ + (encoder_.line_open() ? 1 : 0);
+  if (!force &&
+      fill + std::size_t(cfg_.flush_headroom_lines) <
+          std::size_t(cfg_.buffer_lines)) {
+    return;
+  }
+  const std::vector<std::uint8_t> lines = encoder_.take_lines();
+  if (lines.empty()) return;
+  HLSPROF_CHECK(
+      trace_write_off_ + lines.size() <= cfg_.trace_region_bytes,
+      strf("profiling trace region overflow (%zu bytes): increase "
+           "trace_region_bytes or the sampling period",
+           cfg_.trace_region_bytes));
+  // Burst-write the buffer to DRAM through the shared controller: this is
+  // the tracer's perturbation of the application (paper §IV-B1).
+  for (std::size_t off = 0; off < lines.size(); off += trace::kLineBytes) {
+    mem_.write_bytes(trace_base_ + trace_write_off_ + off, lines.data() + off,
+                     trace::kLineBytes);
+    (void)mem_.access(t, trace_base_ + trace_write_off_ + off,
+                      std::uint32_t(trace::kLineBytes), /*is_write=*/true);
+  }
+  trace_write_off_ += lines.size();
+  buffered_lines_ = 0;
+  ++flush_bursts_;
+}
+
+void ProfilingUnit::on_finish(cycle_t t) {
+  HLSPROF_CHECK(!finished_, "on_finish called twice");
+  finished_ = true;
+  run_end_ = t;
+  high_water_ = std::max(high_water_, t);
+  if (cfg_.enable_states && last_state_record_t_ != kNoCycle && state_dirty_) {
+    append_state_record(last_state_record_t_);
+  }
+  if (cfg_.any_events()) finalize_windows_up_to(high_water_ + cfg_.sampling_period);
+  maybe_flush(t, /*force=*/true);
+}
+
+trace::DecodedTrace ProfilingUnit::decode() const {
+  std::vector<std::uint8_t> buf(trace_write_off_);
+  mem_.read_bytes(trace_base_, buf.data(), buf.size());
+  return trace::decode_lines(buf.data(), buf.size(), T_);
+}
+
+trace::TimedTrace ProfilingUnit::timeline() const {
+  HLSPROF_CHECK(finished_, "timeline() before the run finished");
+  return trace::build_timed_trace(decode(), T_, run_end_,
+                                  cfg_.sampling_period);
+}
+
+}  // namespace hlsprof::profiling

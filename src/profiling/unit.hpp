@@ -1,0 +1,93 @@
+// The profiling unit of the paper's Fig. 1: it snoops the datapath (via
+// SimHooks), records thread states on every change, aggregates sampled
+// event counters, and flushes 512-bit lines of encoded records to external
+// memory through the shared bus — so tracing perturbs the application
+// exactly as the hardware would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/binned_series.hpp"
+#include "hls/design.hpp"
+#include "profiling/config.hpp"
+#include "sim/hooks.hpp"
+#include "sim/memory.hpp"
+#include "trace/records.hpp"
+#include "trace/timed_trace.hpp"
+
+namespace hlsprof::profiling {
+
+class ProfilingUnit final : public sim::SimHooks {
+ public:
+  /// Reserves the trace region in `mem`. The unit must outlive the run.
+  ProfilingUnit(const hls::Design& design, const ProfilingConfig& config,
+                sim::ExternalMemory& mem);
+
+  // ---- SimHooks ---------------------------------------------------------
+  void on_state(thread_id_t tid, sim::ThreadState state, cycle_t t) override;
+  void on_stall(thread_id_t tid, cycle_t t, cycle_t cycles) override;
+  void on_compute(thread_id_t tid, long long int_ops, long long fp_ops,
+                  cycle_t t0, cycle_t t1) override;
+  void on_mem(thread_id_t tid, cycle_t t, std::uint32_t bytes,
+              bool is_write) override;
+  void on_finish(cycle_t t) override;
+
+  // ---- Post-run access ----------------------------------------------------
+  /// Read the raw trace back from simulated DRAM and decode it — the exact
+  /// path a host application takes (paper §IV-B: "there they can later be
+  /// accessed from the host for analysis").
+  trace::DecodedTrace decode() const;
+
+  /// Decode and reconstruct the timeline.
+  trace::TimedTrace timeline() const;
+
+  addr_t trace_base() const { return trace_base_; }
+  std::size_t trace_bytes_written() const { return trace_write_off_; }
+  long long flush_bursts() const { return flush_bursts_; }
+  long long state_records() const { return state_records_; }
+  long long event_records() const { return event_records_; }
+  cycle_t run_end() const { return run_end_; }
+  const ProfilingConfig& config() const { return cfg_; }
+
+ private:
+  void append_state_record(cycle_t t);
+  void maybe_flush(cycle_t t, bool force);
+  void finalize_windows_up_to(cycle_t t);
+  void note_time(cycle_t t);
+  void emit_window(std::size_t w, cycle_t t_emit);
+
+  const hls::Design& d_;
+  ProfilingConfig cfg_;
+  sim::ExternalMemory& mem_;
+  int T_;
+
+  addr_t trace_base_ = 0;
+  std::size_t trace_write_off_ = 0;
+
+  trace::LineEncoder encoder_;
+  std::size_t buffered_lines_ = 0;
+
+  // State tracker.
+  std::vector<std::uint8_t> state_now_;  // 2-bit codes
+  bool state_dirty_ = false;
+  cycle_t last_state_record_t_ = kNoCycle;
+
+  // Event counters, binned by sampling window. Indexed [metric][thread];
+  // metrics: 0 stall, 1 int, 2 fp, 3 bytes_rd, 4 bytes_wr.
+  static constexpr int kMetrics = 5;
+  std::vector<BinnedSeries> bins_;  // kMetrics * T series
+  std::size_t next_window_ = 0;     // first unemitted window index
+  cycle_t high_water_ = 0;
+
+  long long state_records_ = 0;
+  long long event_records_ = 0;
+  long long flush_bursts_ = 0;
+  cycle_t run_end_ = 0;
+  bool finished_ = false;
+};
+
+/// Convenience: run a simulator with a fresh profiling unit and return the
+/// reconstructed timeline (used by tests and examples).
+}  // namespace hlsprof::profiling

@@ -1,0 +1,191 @@
+// Per-hardware-thread execution of a compiled design. The interpreter is
+// both *functional* (it computes the kernel's actual values against the
+// simulated DRAM/BRAM contents) and *timed*: pipelined loops advance time
+// by their scheduled initiation interval plus dynamic stalls whenever a
+// variable-latency operation overruns the scheduler's assumed minimum
+// (paper §III-B); sequential regions charge per-operator latencies.
+//
+// The interpreter is a resumable state machine: `resume()` runs until the
+// thread needs a shared resource (external memory, the semaphore, a
+// barrier) and returns the corresponding Action; the simulator's event
+// loop commits actions in global time order and feeds the result back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hls/design.hpp"
+#include "sim/hooks.hpp"
+#include "sim/memory.hpp"
+#include "sim/params.hpp"
+#include "sim/rtval.hpp"
+
+namespace hlsprof::sim {
+
+/// Runtime binding for one kernel argument.
+struct ArgValue {
+  bool is_pointer = false;
+  addr_t base = 0;       // device base address (pointer args)
+  std::int64_t i = 0;    // scalar integer args
+  double f = 0.0;        // scalar float args
+};
+
+/// A shared-resource interaction the thread needs the simulator to commit.
+struct Action {
+  enum class Kind : std::uint8_t {
+    mem,       // external memory request
+    acquire,   // critical-section entry (semaphore request)
+    release,   // critical-section exit
+    barrier,   // OpenMP barrier arrival
+    finished,  // thread completed the kernel
+  };
+  Kind kind = Kind::finished;
+  cycle_t time = 0;  // issue/request cycle
+
+  // kind == mem:
+  addr_t addr = 0;
+  std::uint32_t bytes = 0;
+  bool is_write = false;
+  /// Preloader DMA burst (paper Fig. 1): serviced as back-to-back line
+  /// requests on the preloader's own bus master instead of one
+  /// element-sized request on the thread's port.
+  bool is_preload = false;
+
+  // kind == acquire/release:
+  int lock_id = 0;
+  // kind == barrier:
+  int barrier_id = 0;
+};
+
+class ThreadInterp {
+ public:
+  ThreadInterp(const hls::Design& design, const std::vector<ArgValue>& args,
+               thread_id_t tid, ExternalMemory& mem, const SimParams& params,
+               SimHooks* hooks);
+
+  /// Begin execution at cycle `t` (the host started this thread).
+  void start(cycle_t t);
+
+  /// Run until the next Action. Must not be called while an Action is
+  /// outstanding (feed the response first).
+  Action resume();
+
+  /// Responses to the previously returned action:
+  void mem_done(const MemTiming& timing);
+  void lock_granted(cycle_t t);
+  void release_done(cycle_t t);
+  void barrier_released(cycle_t t);
+
+  cycle_t time() const { return time_; }
+  bool finished() const { return finished_; }
+
+  // Dynamic per-thread statistics.
+  cycle_t stall_cycles() const { return stall_cycles_; }
+  long long int_ops() const { return total_int_ops_; }
+  long long fp_ops() const { return total_fp_ops_; }
+  long long ext_loads() const { return ext_loads_; }
+  long long ext_stores() const { return ext_stores_; }
+
+ private:
+  struct Frame {
+    enum class Kind : std::uint8_t { region, loop, critical, concurrent };
+    Kind kind = Kind::region;
+
+    // region
+    const ir::Region* region = nullptr;
+    std::size_t idx = 0;
+
+    // loop
+    const ir::LoopStmt* loop = nullptr;
+    const hls::LoopInfo* linfo = nullptr;
+    bool inited = false;
+    bool in_iteration = false;
+    bool first_iter = true;
+    std::int64_t iv_cur = 0;
+    std::int64_t bound_v = 0;
+    std::int64_t step_v = 0;
+    cycle_t iter_base = 0;
+    cycle_t iter_stall = 0;
+    cycle_t loop_end = 0;
+    cycle_t entry_time = 0;
+
+    // critical
+    const ir::CriticalStmt* crit = nullptr;
+    bool crit_body_done = false;
+
+    // concurrent
+    const ir::ConcurrentStmt* con = nullptr;
+    std::vector<std::size_t> branch_order;  // external-memory branch first
+    std::size_t branch_pos = 0;
+    cycle_t con_t0 = 0;
+    cycle_t con_max_end = 0;
+  };
+
+  enum class Suspend : std::uint8_t {
+    none,
+    mem,       // waiting for mem_done
+    acquire,   // waiting for lock_granted
+    release,   // waiting for release_done
+    barrier,   // waiting for barrier_released
+  };
+
+  // -- state-machine driver --
+  bool step(Action& out);  // returns true if an action was produced
+  bool exec_op(ir::ValueId id, Action& out);
+  void finish_mem_op(const MemTiming& timing);
+  void begin_iteration_or_exit(Frame& f);
+  void flush_compute(cycle_t now);
+
+  // -- evaluation helpers --
+  RtVal& val(ir::ValueId v) { return values_[static_cast<std::size_t>(v)]; }
+  std::int64_t scalar_i(ir::ValueId v) {
+    return values_[static_cast<std::size_t>(v)].i[0];
+  }
+  void eval_pure(const ir::Op& op, ir::ValueId id);
+  addr_t ext_addr(const ir::Op& op, std::int64_t index) const;
+  void do_local_load(const ir::Op& op, ir::ValueId id);
+  void do_local_store(const ir::Op& op);
+  bool branch_has_ext(const ir::Region& r) const;
+
+  /// Innermost active pipelined-loop frame, or nullptr (sequential mode).
+  Frame* pipeline_frame();
+
+  const hls::Design& d_;
+  const ir::Kernel& k_;
+  const std::vector<ArgValue>& args_;
+  thread_id_t tid_;
+  ExternalMemory& mem_;
+  const SimParams& params_;
+  SimHooks* hooks_;  // may be null
+
+  std::vector<Frame> frames_;
+  std::vector<RtVal> values_;
+  std::vector<RtVal> vars_;
+  std::vector<std::vector<double>> locals_;
+
+  cycle_t time_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+
+  Suspend suspend_ = Suspend::none;
+  const ir::CriticalStmt* pending_crit_ = nullptr;
+  ir::ValueId pending_op_ = ir::kNoValue;
+  addr_t pending_addr_ = 0;
+  cycle_t pending_issue_ = 0;
+  std::int64_t pending_dst_index_ = 0;  // preload destination
+  std::int64_t pending_count_ = 0;      // preload element count
+  int active_pipe_ = -1;  // index into frames_ of active pipelined loop
+
+  // statistics + compute-hook batching
+  cycle_t stall_cycles_ = 0;
+  long long total_int_ops_ = 0;
+  long long total_fp_ops_ = 0;
+  long long ext_loads_ = 0;
+  long long ext_stores_ = 0;
+  long long acc_int_ = 0;
+  long long acc_fp_ = 0;
+  cycle_t last_flush_ = 0;
+};
+
+}  // namespace hlsprof::sim

@@ -1,0 +1,78 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+
+namespace hlsprof::sim {
+
+ExternalMemory::ExternalMemory(const DramParams& params, std::size_t capacity)
+    : p_(params), data_(capacity, 0) {
+  HLSPROF_CHECK(p_.num_banks >= 1, "DRAM needs at least one bank");
+  HLSPROF_CHECK(p_.line_bytes > 0 && p_.row_bytes >= p_.line_bytes,
+                "DRAM row must be at least one line");
+  banks_.resize(static_cast<std::size_t>(p_.num_banks));
+}
+
+addr_t ExternalMemory::allocate(const std::string& label, std::size_t bytes) {
+  const addr_t aligned = (alloc_ptr_ + 63) & ~addr_t{63};
+  HLSPROF_CHECK(aligned + bytes <= data_.size(),
+                "external memory exhausted allocating '" + label + "'");
+  alloc_ptr_ = aligned + bytes;
+  return aligned;
+}
+
+void ExternalMemory::write_bytes(addr_t addr, const void* src, std::size_t n) {
+  HLSPROF_CHECK(addr + n <= data_.size(), "external memory write out of range");
+  std::memcpy(data_.data() + addr, src, n);
+}
+
+void ExternalMemory::read_bytes(addr_t addr, void* dst, std::size_t n) const {
+  HLSPROF_CHECK(addr + n <= data_.size(), "external memory read out of range");
+  std::memcpy(dst, data_.data() + addr, n);
+}
+
+MemTiming ExternalMemory::access(cycle_t t, addr_t addr, std::uint32_t bytes,
+                                 bool is_write) {
+  // Avalon arbiter: one acceptance per bus_accept_interval.
+  cycle_t accepted = std::max(t, bus_free_at_);
+  bus_free_at_ = accepted + p_.bus_accept_interval +
+                 (is_write ? p_.write_accept_extra : 0);
+
+  // Bank selection: row-granular interleaving — consecutive rows map to
+  // consecutive banks, so large-stride streams exploit bank parallelism
+  // while staying row-miss-bound.
+  const std::int64_t row = std::int64_t(addr / p_.row_bytes);
+  Bank& bank = banks_[static_cast<std::size_t>(
+      row % std::int64_t(p_.num_banks))];
+
+  const cycle_t service_start = std::max(accepted, bank.free_at);
+  const bool hit = bank.open_row == row;
+  const cycle_t lines =
+      std::max<cycle_t>(1, (bytes + p_.line_bytes - 1) / p_.line_bytes);
+  const cycle_t occupancy =
+      hit ? lines * p_.hit_occupancy
+          : p_.miss_occupancy + (lines - 1) * p_.hit_occupancy;
+  const cycle_t latency =
+      p_.base_latency + (hit ? 0 : p_.row_miss_penalty) + lines - 1;
+
+  bank.free_at = service_start + occupancy;
+  bank.open_row = row;
+
+  MemTiming result;
+  result.accepted = accepted;
+  result.row_hit = hit;
+  // Reads: data arrives after the full latency. Writes are posted: the
+  // thread only waits for acceptance into the bank queue.
+  result.complete = is_write ? service_start : service_start + latency;
+
+  if (is_write) {
+    ++writes_;
+    bytes_written_ += bytes;
+  } else {
+    ++reads_;
+    bytes_read_ += bytes;
+  }
+  (hit ? row_hits_ : row_misses_)++;
+  return result;
+}
+
+}  // namespace hlsprof::sim

@@ -1,0 +1,86 @@
+// External (DRAM) memory: functional backing store plus the banked,
+// open-page timing model behind the Avalon bus. One instance is shared by
+// all hardware threads, the preloader, and the profiling unit's flush
+// engine — so tracer traffic perturbs application traffic exactly as it
+// would in hardware.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/params.hpp"
+
+namespace hlsprof::sim {
+
+/// Timing result of one memory access.
+struct MemTiming {
+  cycle_t accepted = 0;   // cycle the Avalon arbiter accepted the request
+  cycle_t complete = 0;   // cycle read data returned (== accepted for
+                          // posted writes' commit point)
+  bool row_hit = false;
+};
+
+class ExternalMemory {
+ public:
+  explicit ExternalMemory(const DramParams& params, std::size_t capacity);
+
+  // ---- Address-space management ------------------------------------------
+  /// Allocate a 64-byte-aligned region; returns its base address.
+  addr_t allocate(const std::string& label, std::size_t bytes);
+  std::size_t capacity() const { return data_.size(); }
+
+  // ---- Functional access -----------------------------------------------------
+  void write_bytes(addr_t addr, const void* src, std::size_t n);
+  void read_bytes(addr_t addr, void* dst, std::size_t n) const;
+
+  template <typename T>
+  T read_scalar(addr_t addr) const {
+    T v;
+    read_bytes(addr, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void write_scalar(addr_t addr, T v) {
+    write_bytes(addr, &v, sizeof(T));
+  }
+
+  // ---- Timing --------------------------------------------------------------
+  /// Submit a request at cycle `t` (global time order across callers is
+  /// the caller's responsibility — the simulator's event loop guarantees
+  /// it). Advances arbiter and bank state.
+  MemTiming access(cycle_t t, addr_t addr, std::uint32_t bytes,
+                   bool is_write);
+
+  // ---- Statistics ---------------------------------------------------------------
+  long long reads() const { return reads_; }
+  long long writes() const { return writes_; }
+  long long bytes_read() const { return bytes_read_; }
+  long long bytes_written() const { return bytes_written_; }
+  long long row_hits() const { return row_hits_; }
+  long long row_misses() const { return row_misses_; }
+
+ private:
+  struct Bank {
+    cycle_t free_at = 0;
+    std::int64_t open_row = -1;
+  };
+
+  DramParams p_;
+  std::vector<std::uint8_t> data_;
+  std::vector<Bank> banks_;
+  cycle_t bus_free_at_ = 0;
+  addr_t alloc_ptr_ = 0;
+
+  long long reads_ = 0;
+  long long writes_ = 0;
+  long long bytes_read_ = 0;
+  long long bytes_written_ = 0;
+  long long row_hits_ = 0;
+  long long row_misses_ = 0;
+};
+
+}  // namespace hlsprof::sim

@@ -1,0 +1,336 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::sim {
+
+cycle_t SimResult::total_stall_cycles() const {
+  cycle_t s = 0;
+  for (const auto& t : threads) s += t.stall_cycles;
+  return s;
+}
+
+long long SimResult::total_fp_ops() const {
+  long long s = 0;
+  for (const auto& t : threads) s += t.fp_ops;
+  return s;
+}
+
+long long SimResult::total_int_ops() const {
+  long long s = 0;
+  for (const auto& t : threads) s += t.int_ops;
+  return s;
+}
+
+Simulator::Simulator(const hls::Design& design, SimParams params,
+                     std::size_t mem_capacity)
+    : d_(design),
+      params_(params),
+      mem_(params.dram, mem_capacity),
+      sem_(design.kernel.num_locks, params.sem),
+      barrier_(design.kernel.num_threads, params.host.barrier_release_latency) {
+  const auto& k = d_.kernel;
+  bound_.resize(k.args.size());
+  arg_values_.resize(k.args.size());
+  for (std::size_t i = 0; i < k.args.size(); ++i) {
+    const ir::Arg& a = k.args[i];
+    if (a.is_pointer) {
+      const std::size_t bytes =
+          std::size_t(a.count) * std::size_t(a.elem_type.scalar_bytes());
+      bound_[i].value.is_pointer = true;
+      bound_[i].value.base = mem_.allocate(a.name, bytes);
+    }
+  }
+}
+
+int Simulator::arg_index(const std::string& name) const {
+  for (std::size_t i = 0; i < d_.kernel.args.size(); ++i) {
+    if (d_.kernel.args[i].name == name) return static_cast<int>(i);
+  }
+  fail("no kernel argument named '" + name + "'");
+}
+
+void Simulator::bind_pointer(const std::string& name, void* data,
+                             std::size_t elems, ir::Scalar expect) {
+  const int idx = arg_index(name);
+  const ir::Arg& a = d_.kernel.args[static_cast<std::size_t>(idx)];
+  HLSPROF_CHECK(a.is_pointer, "'" + name + "' is not a pointer argument");
+  HLSPROF_CHECK(a.elem_type.scalar == expect,
+                "'" + name + "' element type mismatch");
+  HLSPROF_CHECK(elems >= std::size_t(a.count),
+                strf("host buffer for '%s' too small (%zu < %lld mapped)",
+                     name.c_str(), elems, static_cast<long long>(a.count)));
+  BoundArg& b = bound_[static_cast<std::size_t>(idx)];
+  b.host = data;
+  b.host_elems = elems;
+  b.bound = true;
+}
+
+void Simulator::bind_f32(const std::string& name, std::span<float> host) {
+  bind_pointer(name, host.data(), host.size(), ir::Scalar::f32);
+}
+void Simulator::bind_f64(const std::string& name, std::span<double> host) {
+  bind_pointer(name, host.data(), host.size(), ir::Scalar::f64);
+}
+void Simulator::bind_i32(const std::string& name,
+                         std::span<std::int32_t> host) {
+  bind_pointer(name, host.data(), host.size(), ir::Scalar::i32);
+}
+void Simulator::bind_i64(const std::string& name,
+                         std::span<std::int64_t> host) {
+  bind_pointer(name, host.data(), host.size(), ir::Scalar::i64);
+}
+
+void Simulator::set_arg(const std::string& name, std::int64_t v) {
+  const int idx = arg_index(name);
+  const ir::Arg& a = d_.kernel.args[static_cast<std::size_t>(idx)];
+  HLSPROF_CHECK(!a.is_pointer && a.elem_type.is_int(),
+                "'" + name + "' is not a scalar integer argument");
+  bound_[static_cast<std::size_t>(idx)].value.i = v;
+  bound_[static_cast<std::size_t>(idx)].bound = true;
+}
+
+void Simulator::set_arg(const std::string& name, double v) {
+  const int idx = arg_index(name);
+  const ir::Arg& a = d_.kernel.args[static_cast<std::size_t>(idx)];
+  HLSPROF_CHECK(!a.is_pointer && a.elem_type.is_float(),
+                "'" + name + "' is not a scalar float argument");
+  bound_[static_cast<std::size_t>(idx)].value.f = v;
+  bound_[static_cast<std::size_t>(idx)].bound = true;
+}
+
+addr_t Simulator::device_base(const std::string& name) const {
+  const int idx = arg_index(name);
+  HLSPROF_CHECK(d_.kernel.args[static_cast<std::size_t>(idx)].is_pointer,
+                "'" + name + "' is not a pointer argument");
+  return bound_[static_cast<std::size_t>(idx)].value.base;
+}
+
+cycle_t Simulator::copy_in(cycle_t t) {
+  const auto& k = d_.kernel;
+  for (std::size_t i = 0; i < k.args.size(); ++i) {
+    const ir::Arg& a = k.args[i];
+    if (!a.is_pointer) {
+      HLSPROF_CHECK(bound_[i].bound,
+                    "scalar argument '" + a.name + "' was never set");
+      continue;
+    }
+    HLSPROF_CHECK(bound_[i].bound || a.map == ir::MapDir::alloc,
+                  "pointer argument '" + a.name + "' was never bound");
+    const std::size_t bytes =
+        std::size_t(a.count) * std::size_t(a.elem_type.scalar_bytes());
+    if (a.map == ir::MapDir::to || a.map == ir::MapDir::tofrom) {
+      mem_.write_bytes(bound_[i].value.base, bound_[i].host, bytes);
+      const cycle_t begin = t;
+      t += params_.host.transfer_setup +
+           cycle_t(std::ceil(double(bytes) / params_.host.pcie_bytes_per_cycle));
+      transfers_.push_back(HostTransfer{a.name, true, begin, t, bytes});
+    }
+  }
+  return t;
+}
+
+cycle_t Simulator::copy_out(cycle_t t) {
+  const auto& k = d_.kernel;
+  for (std::size_t i = 0; i < k.args.size(); ++i) {
+    const ir::Arg& a = k.args[i];
+    if (!a.is_pointer) continue;
+    if (a.map == ir::MapDir::from || a.map == ir::MapDir::tofrom) {
+      const std::size_t bytes =
+          std::size_t(a.count) * std::size_t(a.elem_type.scalar_bytes());
+      mem_.read_bytes(bound_[i].value.base, bound_[i].host, bytes);
+      const cycle_t begin = t;
+      t += params_.host.transfer_setup +
+           cycle_t(std::ceil(double(bytes) / params_.host.pcie_bytes_per_cycle));
+      transfers_.push_back(HostTransfer{a.name, false, begin, t, bytes});
+    }
+  }
+  return t;
+}
+
+void Simulator::push_event(cycle_t t, thread_id_t tid) {
+  heap_.push_back(Event{t, seq_++, tid});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void Simulator::emit_state(SimHooks* hooks, thread_id_t tid, ThreadState s,
+                           cycle_t t) {
+  if (hooks != nullptr) hooks->on_state(tid, s, t);
+}
+
+void Simulator::advance(thread_id_t tid, SimHooks* hooks) {
+  (void)hooks;
+  ThreadInterp& ti = *interps_[tid];
+  const Action a = ti.resume();
+  pending_[tid] = a;
+  push_event(a.time, tid);
+}
+
+SimResult Simulator::run(SimHooks* hooks) {
+  const auto& k = d_.kernel;
+  const int T = k.num_threads;
+
+  for (std::size_t i = 0; i < bound_.size(); ++i) {
+    arg_values_[i] = bound_[i].value;
+  }
+
+  SimResult result;
+  transfers_.clear();
+  result.kernel_start = copy_in(0);
+
+  // All threads are idle until the host starts them, one by one, through
+  // the Avalon slave (paper §V-D: software start overhead).
+  interps_.clear();
+  pending_.assign(static_cast<std::size_t>(T), std::nullopt);
+  started_.assign(static_cast<std::size_t>(T), false);
+  stats_.assign(static_cast<std::size_t>(T), ThreadStats{});
+  heap_.clear();
+  seq_ = 0;
+  finished_count_ = 0;
+
+  for (int t = 0; t < T; ++t) {
+    interps_.push_back(std::make_unique<ThreadInterp>(
+        d_, arg_values_, thread_id_t(t), mem_, params_, hooks));
+    emit_state(hooks, thread_id_t(t), ThreadState::idle, 0);
+    const cycle_t start_at =
+        result.kernel_start +
+        cycle_t(t + 1) * params_.host.thread_start_interval;
+    stats_[static_cast<std::size_t>(t)].start = start_at;
+    push_event(start_at, thread_id_t(t));
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    HLSPROF_CHECK(ev.time <= params_.max_cycles,
+                  "simulation exceeded max_cycles (livelock guard)");
+    const thread_id_t tid = ev.tid;
+
+    if (!started_[tid]) {
+      started_[tid] = true;
+      emit_state(hooks, tid, ThreadState::running, ev.time);
+      interps_[tid]->start(ev.time);
+      advance(tid, hooks);
+      continue;
+    }
+
+    HLSPROF_CHECK(pending_[tid].has_value(), "event without pending action");
+    const Action a = *pending_[tid];
+    pending_[tid].reset();
+
+    switch (a.kind) {
+      case Action::Kind::mem: {
+        MemTiming tm;
+        if (a.is_preload) {
+          // The preloader DMA issues back-to-back line requests on its own
+          // bus master; the requesting thread resumes when the last line
+          // has arrived.
+          const addr_t line = params_.dram.line_bytes;
+          const addr_t first_line = a.addr / line;
+          const addr_t last_line = (a.addr + a.bytes - 1) / line;
+          cycle_t t = a.time;
+          bool first = true;
+          for (addr_t l = first_line; l <= last_line; ++l) {
+            const MemTiming part =
+                mem_.access(t, l * line, std::uint32_t(line), false);
+            if (first) {
+              tm.accepted = part.accepted;
+              tm.row_hit = part.row_hit;
+              first = false;
+            }
+            tm.complete = std::max(tm.complete, part.complete);
+            t = part.accepted + 1;
+          }
+        } else {
+          tm = mem_.access(a.time, a.addr, a.bytes, a.is_write);
+        }
+        if (hooks != nullptr) {
+          hooks->on_mem(tid, tm.accepted, a.bytes, a.is_write);
+        }
+        interps_[tid]->mem_done(tm);
+        advance(tid, hooks);
+        break;
+      }
+      case Action::Kind::acquire: {
+        emit_state(hooks, tid, ThreadState::spinning, a.time);
+        const auto grant = sem_.acquire(a.lock_id, tid, a.time);
+        if (grant.has_value()) {
+          emit_state(hooks, tid, ThreadState::critical, *grant);
+          interps_[tid]->lock_granted(*grant);
+          advance(tid, hooks);
+        }
+        // else: parked; the grant arrives from a future release.
+        break;
+      }
+      case Action::Kind::release: {
+        const auto r = sem_.release(a.lock_id, tid, a.time);
+        emit_state(hooks, tid, ThreadState::running, a.time);
+        if (r.granted.has_value()) {
+          const auto [waiter, gt] = *r.granted;
+          emit_state(hooks, waiter, ThreadState::critical, gt);
+          interps_[waiter]->lock_granted(gt);
+          advance(waiter, hooks);
+        }
+        interps_[tid]->release_done(r.release_done);
+        advance(tid, hooks);
+        break;
+      }
+      case Action::Kind::barrier: {
+        emit_state(hooks, tid, ThreadState::spinning, a.time);
+        auto done = barrier_.arrive(tid, a.time);
+        if (done.has_value()) {
+          const auto& [when, released] = *done;
+          for (thread_id_t w : released) {
+            emit_state(hooks, w, ThreadState::running, when);
+            interps_[w]->barrier_released(when);
+            advance(w, hooks);
+          }
+        }
+        break;
+      }
+      case Action::Kind::finished: {
+        emit_state(hooks, tid, ThreadState::idle, a.time);
+        ThreadStats& st = stats_[tid];
+        st.end = a.time;
+        st.stall_cycles = interps_[tid]->stall_cycles();
+        st.int_ops = interps_[tid]->int_ops();
+        st.fp_ops = interps_[tid]->fp_ops();
+        st.ext_loads = interps_[tid]->ext_loads();
+        st.ext_stores = interps_[tid]->ext_stores();
+        ++finished_count_;
+        break;
+      }
+    }
+  }
+
+  if (finished_count_ != T) {
+    fail(strf("deadlock: %d of %d threads never finished (%zu spinning on "
+              "the semaphore, %zu parked at a barrier)",
+              T - finished_count_, T, sem_.waiting(), barrier_.parked()));
+  }
+
+  result.kernel_done = 0;
+  for (const auto& st : stats_) {
+    result.kernel_done = std::max(result.kernel_done, st.end);
+  }
+  result.kernel_cycles = result.kernel_done - result.kernel_start;
+  if (hooks != nullptr) hooks->on_finish(result.kernel_done);
+  result.total_cycles = copy_out(result.kernel_done);
+  result.threads = stats_;
+  result.transfers = transfers_;
+  result.dram_reads = mem_.reads();
+  result.dram_writes = mem_.writes();
+  result.dram_bytes_read = mem_.bytes_read();
+  result.dram_bytes_written = mem_.bytes_written();
+  const long long accesses = mem_.row_hits() + mem_.row_misses();
+  result.row_hit_rate =
+      accesses == 0 ? 0.0 : double(mem_.row_hits()) / double(accesses);
+  return result;
+}
+
+}  // namespace hlsprof::sim

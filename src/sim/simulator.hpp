@@ -1,0 +1,146 @@
+// The full-system simulator: host/driver model (map transfers, sequential
+// thread starts), the event loop that commits shared-resource actions in
+// global time order, the DRAM/bus model, and the hardware semaphore and
+// barrier. One Simulator instance runs one kernel launch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hls/design.hpp"
+#include "sim/hooks.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/memory.hpp"
+#include "sim/params.hpp"
+#include "sim/sync.hpp"
+
+namespace hlsprof::sim {
+
+/// One host<->device map() transfer (timing of copy_in/copy_out).
+struct HostTransfer {
+  std::string arg;
+  bool to_device = true;
+  cycle_t begin = 0;
+  cycle_t end = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct ThreadStats {
+  cycle_t start = 0;
+  cycle_t end = 0;
+  cycle_t stall_cycles = 0;
+  long long int_ops = 0;
+  long long fp_ops = 0;
+  long long ext_loads = 0;
+  long long ext_stores = 0;
+};
+
+struct SimResult {
+  /// End-to-end cycles including map(to) transfers, thread starts, kernel
+  /// execution, and map(from) transfers — the "total time" the pi case
+  /// study's GFLOP/s numbers are computed against (paper §V-D).
+  cycle_t total_cycles = 0;
+  /// Cycle the accelerator context was ready (map-in transfers complete).
+  cycle_t kernel_start = 0;
+  /// Cycle the last hardware thread finished.
+  cycle_t kernel_done = 0;
+  /// kernel_done - kernel_start: the accelerator-execution cycle count the
+  /// paper reports for the GEMM case study (§V-C).
+  cycle_t kernel_cycles = 0;
+
+  std::vector<ThreadStats> threads;
+  std::vector<HostTransfer> transfers;  // map(to/from/tofrom) movements
+
+  long long dram_reads = 0;
+  long long dram_writes = 0;
+  long long dram_bytes_read = 0;
+  long long dram_bytes_written = 0;
+  double row_hit_rate = 0.0;
+
+  cycle_t total_stall_cycles() const;
+  long long total_fp_ops() const;
+  long long total_int_ops() const;
+};
+
+class Simulator {
+ public:
+  /// `mem_capacity` sizes the simulated DRAM (kernel buffers + trace).
+  Simulator(const hls::Design& design, SimParams params = SimParams{},
+            std::size_t mem_capacity = std::size_t{64} << 20);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // ---- Host-side argument binding --------------------------------------
+  void bind_f32(const std::string& name, std::span<float> host);
+  void bind_f64(const std::string& name, std::span<double> host);
+  void bind_i32(const std::string& name, std::span<std::int32_t> host);
+  void bind_i64(const std::string& name, std::span<std::int64_t> host);
+  void set_arg(const std::string& name, std::int64_t v);
+  void set_arg(const std::string& name, double v);
+
+  /// Device base address of a pointer argument (for trace inspection).
+  addr_t device_base(const std::string& name) const;
+
+  /// The simulated external memory — shared with the profiling unit so
+  /// tracer flush traffic contends with application traffic.
+  ExternalMemory& memory() { return mem_; }
+
+  /// Run the kernel once. `hooks` may be null (run without profiling).
+  /// Throws hlsprof::Error on unbound arguments, kernel faults
+  /// (out-of-bounds, div-by-zero), deadlock, or cycle-limit overrun.
+  SimResult run(SimHooks* hooks = nullptr);
+
+  const hls::Design& design() const { return d_; }
+  const SimParams& params() const { return params_; }
+
+ private:
+  struct BoundArg {
+    ArgValue value;
+    void* host = nullptr;  // pointer args: host buffer (element type of arg)
+    std::size_t host_elems = 0;
+    bool bound = false;
+  };
+
+  struct Event {
+    cycle_t time;
+    std::uint64_t seq;
+    thread_id_t tid;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  int arg_index(const std::string& name) const;
+  void bind_pointer(const std::string& name, void* data, std::size_t elems,
+                    ir::Scalar expect);
+  cycle_t copy_in(cycle_t t);
+  cycle_t copy_out(cycle_t t);
+  std::vector<HostTransfer> transfers_;
+  void push_event(cycle_t t, thread_id_t tid);
+  void advance(thread_id_t tid, SimHooks* hooks);
+  void emit_state(SimHooks* hooks, thread_id_t tid, ThreadState s, cycle_t t);
+
+  const hls::Design& d_;
+  SimParams params_;
+  ExternalMemory mem_;
+  Semaphore sem_;
+  Barrier barrier_;
+
+  std::vector<BoundArg> bound_;
+  std::vector<ArgValue> arg_values_;
+
+  std::vector<std::unique_ptr<ThreadInterp>> interps_;
+  std::vector<std::optional<Action>> pending_;
+  std::vector<bool> started_;
+  std::vector<Event> heap_;
+  std::uint64_t seq_ = 0;
+  int finished_count_ = 0;
+  std::vector<ThreadStats> stats_;
+};
+
+}  // namespace hlsprof::sim

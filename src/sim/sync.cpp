@@ -1,0 +1,74 @@
+#include "sim/sync.hpp"
+
+#include <algorithm>
+
+namespace hlsprof::sim {
+
+Semaphore::Semaphore(int num_locks, const SemaphoreParams& params)
+    : p_(params) {
+  HLSPROF_CHECK(num_locks >= 1, "semaphore needs at least one lock");
+  locks_.resize(static_cast<std::size_t>(num_locks));
+}
+
+std::optional<cycle_t> Semaphore::acquire(int lock, thread_id_t tid,
+                                          cycle_t t) {
+  HLSPROF_CHECK(lock >= 0 && static_cast<std::size_t>(lock) < locks_.size(),
+                "lock id out of range");
+  Lock& l = locks_[static_cast<std::size_t>(lock)];
+  if (!l.held) {
+    l.held = true;
+    l.holder = tid;
+    return t + p_.acquire_latency;
+  }
+  HLSPROF_CHECK(l.holder != tid, "recursive critical sections not supported");
+  l.waiters.push_back(tid);
+  return std::nullopt;
+}
+
+Semaphore::ReleaseResult Semaphore::release(int lock, thread_id_t tid,
+                                            cycle_t t) {
+  HLSPROF_CHECK(lock >= 0 && static_cast<std::size_t>(lock) < locks_.size(),
+                "lock id out of range");
+  Lock& l = locks_[static_cast<std::size_t>(lock)];
+  HLSPROF_CHECK(l.held && l.holder == tid,
+                "release of a lock the thread does not hold");
+  ReleaseResult r;
+  r.release_done = t + p_.release_latency;
+  if (l.waiters.empty()) {
+    l.held = false;
+  } else {
+    const thread_id_t next = l.waiters.front();
+    l.waiters.pop_front();
+    l.holder = next;
+    r.granted = {next, t + p_.handoff_latency};
+  }
+  return r;
+}
+
+std::size_t Semaphore::waiting() const {
+  std::size_t n = 0;
+  for (const Lock& l : locks_) n += l.waiters.size();
+  return n;
+}
+
+Barrier::Barrier(int num_threads, cycle_t release_latency)
+    : num_threads_(num_threads), release_latency_(release_latency) {
+  HLSPROF_CHECK(num_threads >= 1, "barrier needs at least one thread");
+}
+
+std::optional<std::pair<cycle_t, std::vector<thread_id_t>>> Barrier::arrive(
+    thread_id_t tid, cycle_t t) {
+  for (thread_id_t other : arrived_) {
+    HLSPROF_CHECK(other != tid, "thread arrived twice at the same barrier");
+  }
+  arrived_.push_back(tid);
+  latest_arrival_ = std::max(latest_arrival_, t);
+  if (static_cast<int>(arrived_.size()) < num_threads_) return std::nullopt;
+  auto released = std::move(arrived_);
+  arrived_.clear();
+  const cycle_t when = latest_arrival_ + release_latency_;
+  latest_arrival_ = 0;
+  return std::make_pair(when, std::move(released));
+}
+
+}  // namespace hlsprof::sim

@@ -1,0 +1,69 @@
+// Hardware semaphore (critical sections) and thread barrier. These hold
+// arbitration state; the simulator's event loop parks blocked threads and
+// re-schedules them at the grant times computed here.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/params.hpp"
+
+namespace hlsprof::sim {
+
+/// The hardware semaphore on the Avalon bus (paper Fig. 1). FIFO grant
+/// order per lock.
+class Semaphore {
+ public:
+  Semaphore(int num_locks, const SemaphoreParams& params);
+
+  /// Thread `tid` requests `lock` at cycle `t`. Returns the grant cycle if
+  /// the lock was free, or nullopt if the thread must spin (it is queued).
+  std::optional<cycle_t> acquire(int lock, thread_id_t tid, cycle_t t);
+
+  /// Thread `tid` releases `lock` at cycle `t`. Returns the next waiter
+  /// and its grant cycle, if any. The returned release-complete cycle is
+  /// when the releasing thread may proceed.
+  struct ReleaseResult {
+    cycle_t release_done = 0;
+    std::optional<std::pair<thread_id_t, cycle_t>> granted;
+  };
+  ReleaseResult release(int lock, thread_id_t tid, cycle_t t);
+
+  /// Total threads currently spinning (for invariant checks).
+  std::size_t waiting() const;
+
+ private:
+  struct Lock {
+    bool held = false;
+    thread_id_t holder = 0;
+    std::deque<thread_id_t> waiters;
+  };
+  SemaphoreParams p_;
+  std::vector<Lock> locks_;
+};
+
+/// OpenMP thread barrier: all `num_threads` must arrive; the last arrival
+/// releases everyone.
+class Barrier {
+ public:
+  Barrier(int num_threads, cycle_t release_latency);
+
+  /// Returns the release cycle and the set of all released threads when
+  /// `tid` is the last to arrive; nullopt otherwise (thread parks).
+  std::optional<std::pair<cycle_t, std::vector<thread_id_t>>> arrive(
+      thread_id_t tid, cycle_t t);
+
+  std::size_t parked() const { return arrived_.size(); }
+
+ private:
+  int num_threads_;
+  cycle_t release_latency_;
+  cycle_t latest_arrival_ = 0;
+  std::vector<thread_id_t> arrived_;
+};
+
+}  // namespace hlsprof::sim

@@ -1,0 +1,220 @@
+#include "trace/records.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::trace {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::stall_cycles: return "stall_cycles";
+    case EventKind::int_ops: return "int_ops";
+    case EventKind::fp_ops: return "fp_ops";
+    case EventKind::bytes_read: return "bytes_read";
+    case EventKind::bytes_written: return "bytes_written";
+  }
+  return "?";
+}
+
+std::size_t state_record_bytes(int num_threads) {
+  return 1 /*tag*/ + 4 /*clock*/ +
+         std::size_t((2 * num_threads + 7) / 8) /*2 bits per thread*/;
+}
+
+std::size_t event_record_bytes() {
+  return 1 /*tag*/ + 1 /*kind*/ + 1 /*thread*/ + 4 /*clock*/ + 8 /*value*/;
+}
+
+LineEncoder::LineEncoder(int num_threads) : num_threads_(num_threads) {
+  HLSPROF_CHECK(num_threads >= 1 && num_threads <= 64,
+                "LineEncoder thread count out of range");
+  HLSPROF_CHECK(state_record_bytes(num_threads) <= kLineBytes - 1,
+                "state record does not fit one line");
+}
+
+void LineEncoder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) cur_.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void LineEncoder::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) cur_.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void LineEncoder::bump_count() {
+  HLSPROF_CHECK(!cur_.empty(), "bump_count on empty line");
+  ++cur_[0];
+}
+
+int LineEncoder::ensure_fits(std::size_t record_bytes) {
+  int completed = 0;
+  if (!cur_.empty() && cur_.size() + record_bytes > kLineBytes) {
+    cur_.resize(kLineBytes, 0);  // zero padding
+    full_bytes_.insert(full_bytes_.end(), cur_.begin(), cur_.end());
+    cur_.clear();
+    completed = 1;
+  }
+  if (cur_.empty()) cur_.push_back(0);  // record count
+  return completed;
+}
+
+int LineEncoder::append_state(std::uint32_t clock32,
+                              const std::vector<std::uint8_t>& states2bit) {
+  HLSPROF_CHECK(static_cast<int>(states2bit.size()) == num_threads_,
+                "state vector size mismatch");
+  const int completed = ensure_fits(state_record_bytes(num_threads_));
+  put_u8(kTagState);
+  put_u32(clock32);
+  std::uint8_t packed = 0;
+  int bits = 0;
+  for (int t = 0; t < num_threads_; ++t) {
+    HLSPROF_CHECK(states2bit[std::size_t(t)] < 4, "state code out of range");
+    packed |= std::uint8_t(states2bit[std::size_t(t)] << bits);
+    bits += 2;
+    if (bits == 8) {
+      put_u8(packed);
+      packed = 0;
+      bits = 0;
+    }
+  }
+  if (bits != 0) put_u8(packed);
+  bump_count();
+  return completed;
+}
+
+int LineEncoder::append_event(const EventRecord& r) {
+  const int completed = ensure_fits(event_record_bytes());
+  put_u8(kTagEvent);
+  put_u8(std::uint8_t(r.kind));
+  put_u8(r.thread);
+  put_u32(r.clock32);
+  put_u64(r.value);
+  bump_count();
+  return completed;
+}
+
+std::vector<std::uint8_t> LineEncoder::take_lines() {
+  if (!cur_.empty()) {
+    cur_.resize(kLineBytes, 0);
+    full_bytes_.insert(full_bytes_.end(), cur_.begin(), cur_.end());
+    cur_.clear();
+  }
+  return std::exchange(full_bytes_, {});
+}
+
+namespace {
+
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+  std::uint8_t u8() {
+    HLSPROF_CHECK(i_ + 1 <= n_, "trace decode past end of line");
+    return p_[i_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) v |= std::uint32_t(u8()) << (8 * k);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) v |= std::uint64_t(u8()) << (8 * k);
+    return v;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t i_ = 0;
+};
+
+/// Incremental 32-bit clock unwrapper: interprets each new clock as a
+/// signed delta from the previous one.
+class Unwrapper {
+ public:
+  cycle_t feed(std::uint32_t c32) {
+    if (!seeded_) {
+      seeded_ = true;
+      last_ = c32;
+      base_ = 0;
+      return cycle_t(c32);
+    }
+    const std::int64_t delta =
+        std::int64_t(std::int32_t(c32 - last_));  // signed wrap delta
+    std::int64_t next = std::int64_t(base_) + std::int64_t(last_) + delta;
+    if (next < 0) next = 0;
+    last_ = c32;
+    base_ = cycle_t(next) - cycle_t(last_);
+    return cycle_t(next);
+  }
+
+ private:
+  bool seeded_ = false;
+  std::uint32_t last_ = 0;
+  cycle_t base_ = 0;
+};
+
+}  // namespace
+
+std::vector<cycle_t> unwrap_clocks(const std::vector<std::uint32_t>& clocks) {
+  Unwrapper u;
+  std::vector<cycle_t> out;
+  out.reserve(clocks.size());
+  for (std::uint32_t c : clocks) out.push_back(u.feed(c));
+  return out;
+}
+
+DecodedTrace decode_lines(const std::uint8_t* data, std::size_t bytes,
+                          int num_threads) {
+  HLSPROF_CHECK(bytes % kLineBytes == 0,
+                "trace region is not a whole number of lines");
+  DecodedTrace out;
+  Unwrapper unwrap;
+  const std::size_t state_bytes = state_record_bytes(num_threads);
+  for (std::size_t off = 0; off < bytes; off += kLineBytes) {
+    Cursor c(data + off, kLineBytes);
+    const int count = c.u8();
+    // The smallest record (state, 1 thread) is 6 bytes; a 64-byte line
+    // with its count byte holds at most 10 records.
+    HLSPROF_CHECK(count <= 10, "implausible record count in trace line");
+    for (int r = 0; r < count; ++r) {
+      const std::uint8_t tag = c.u8();
+      if (tag == kTagState) {
+        StateRecord sr;
+        sr.clock32 = c.u32();
+        sr.states.resize(std::size_t(num_threads));
+        std::uint8_t packed = 0;
+        int bits = 8;  // force initial fetch
+        for (int t = 0; t < num_threads; ++t) {
+          if (bits == 8) {
+            packed = c.u8();
+            bits = 0;
+          }
+          sr.states[std::size_t(t)] = std::uint8_t((packed >> bits) & 0x3);
+          bits += 2;
+        }
+        out.state_clocks.push_back(unwrap.feed(sr.clock32));
+        out.states.push_back(std::move(sr));
+        (void)state_bytes;
+      } else if (tag == kTagEvent) {
+        EventRecord er;
+        er.kind = EventKind(c.u8());
+        HLSPROF_CHECK(std::uint8_t(er.kind) >= 1 && std::uint8_t(er.kind) <= 5,
+                      "unknown event kind in trace");
+        er.thread = c.u8();
+        er.clock32 = c.u32();
+        er.value = c.u64();
+        out.event_clocks.push_back(unwrap.feed(er.clock32));
+        out.events.push_back(er);
+      } else {
+        fail(strf("bad record tag 0x%02X in trace line at offset %zu", tag,
+                  off));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hlsprof::trace

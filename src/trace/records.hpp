@@ -1,0 +1,108 @@
+// Binary trace-record format written by the hardware profiling unit into
+// external memory, and the host-side decoder.
+//
+// Layout (paper §IV-B): records are packed into 512-bit (64-byte) lines —
+// the external memory controller's data width. Each line starts with a
+// 1-byte record count followed by the records back to back; the tail is
+// zero padding.
+//
+//  * State record (§IV-B1): tag byte, 32-bit wrapping clock, then
+//    2 bits/thread packed little-endian (00 idle, 01 running, 10 critical,
+//    11 spinning) — `2*N_threads + 32` payload bits as in the paper.
+//  * Event record (§IV-B2): tag byte, event kind, thread id, 32-bit
+//    wrapping clock (the sampling-window start), 64-bit aggregated value.
+//
+// The 32-bit clock wraps every ~30 s at 140 MHz; the decoder unwraps it by
+// assuming consecutive records are less than half a wrap apart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hlsprof::trace {
+
+inline constexpr std::size_t kLineBytes = 64;  // 512-bit controller word
+inline constexpr std::uint8_t kTagState = 0x5A;
+inline constexpr std::uint8_t kTagEvent = 0xE7;
+
+/// Sampled-counter kinds (paper §IV-B2: stalls, compute, memory).
+enum class EventKind : std::uint8_t {
+  stall_cycles = 1,
+  int_ops = 2,
+  fp_ops = 3,
+  bytes_read = 4,
+  bytes_written = 5,
+};
+
+const char* event_kind_name(EventKind k);
+
+struct StateRecord {
+  std::uint32_t clock32 = 0;           // wrapping 32-bit cycle counter
+  std::vector<std::uint8_t> states;    // one 2-bit code per thread, unpacked
+};
+
+struct EventRecord {
+  EventKind kind = EventKind::stall_cycles;
+  std::uint8_t thread = 0;
+  std::uint32_t clock32 = 0;  // window start, wrapping
+  std::uint64_t value = 0;
+};
+
+/// Size in bytes of one state record for `num_threads` threads
+/// (tag + 32-bit clock + ceil(2*T/8) state bytes).
+std::size_t state_record_bytes(int num_threads);
+
+/// Size in bytes of one event record.
+std::size_t event_record_bytes();
+
+/// Packs records into 512-bit lines, exactly as the hardware buffer does.
+class LineEncoder {
+ public:
+  explicit LineEncoder(int num_threads);
+
+  /// Append a record. Returns the number of lines completed by this append
+  /// (0 or 1) — the profiling unit uses this to track buffer fill.
+  int append_state(std::uint32_t clock32,
+                   const std::vector<std::uint8_t>& states2bit);
+  int append_event(const EventRecord& r);
+
+  /// Close the current line (pad with zeros) and return all completed
+  /// lines since the last take(). Each line is exactly kLineBytes.
+  std::vector<std::uint8_t> take_lines();
+
+  /// Completed, untaken lines currently held.
+  std::size_t pending_lines() const { return full_bytes_.size() / kLineBytes; }
+  bool line_open() const { return !cur_.empty(); }
+
+ private:
+  int ensure_fits(std::size_t record_bytes);
+  void put_u8(std::uint8_t v) { cur_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void bump_count();
+
+  int num_threads_;
+  std::vector<std::uint8_t> cur_;        // current (open) line, cur_[0]=count
+  std::vector<std::uint8_t> full_bytes_; // completed lines
+};
+
+/// Decoded raw trace.
+struct DecodedTrace {
+  std::vector<StateRecord> states;   // clock32 already unwrapped into clock
+  std::vector<EventRecord> events;
+  std::vector<cycle_t> state_clocks;  // unwrapped clocks, parallel to states
+  std::vector<cycle_t> event_clocks;  // unwrapped clocks, parallel to events
+};
+
+/// Decode a span of 512-bit lines produced by LineEncoder. Throws Error on
+/// malformed framing. `num_threads` must match the encoder's.
+DecodedTrace decode_lines(const std::uint8_t* data, std::size_t bytes,
+                          int num_threads);
+
+/// Unwrap a sequence of 32-bit clocks into monotonically non-decreasing
+/// 64-bit cycle counts (exposed separately for testing).
+std::vector<cycle_t> unwrap_clocks(const std::vector<std::uint32_t>& clocks);
+
+}  // namespace hlsprof::trace

@@ -1,0 +1,113 @@
+#include "trace/timed_trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace hlsprof::trace {
+
+double TimedTrace::state_fraction(thread_id_t tid, sim::ThreadState s) const {
+  HLSPROF_CHECK(tid < thread_states.size(), "thread id out of range");
+  if (duration == 0) return 0.0;
+  cycle_t total = 0;
+  for (const StateInterval& iv : thread_states[tid]) {
+    if (iv.state == s) total += iv.end - iv.begin;
+  }
+  return double(total) / double(duration);
+}
+
+double TimedTrace::state_fraction(sim::ThreadState s) const {
+  if (duration == 0 || num_threads == 0) return 0.0;
+  return double(state_cycles(s)) / (double(duration) * double(num_threads));
+}
+
+cycle_t TimedTrace::state_cycles(sim::ThreadState s) const {
+  cycle_t total = 0;
+  for (const auto& tv : thread_states) {
+    for (const StateInterval& iv : tv) {
+      if (iv.state == s) total += iv.end - iv.begin;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TimedTrace::event_total(EventKind kind) const {
+  std::uint64_t total = 0;
+  for (const EventSample& e : events) {
+    if (e.kind == kind) total += e.value;
+  }
+  return total;
+}
+
+std::vector<std::pair<cycle_t, std::uint64_t>> TimedTrace::event_series(
+    EventKind kind) const {
+  std::map<cycle_t, std::uint64_t> acc;
+  for (const EventSample& e : events) {
+    if (e.kind == kind) acc[e.t] += e.value;
+  }
+  return {acc.begin(), acc.end()};
+}
+
+TimedTrace build_timed_trace(const DecodedTrace& decoded, int num_threads,
+                             cycle_t run_end, cycle_t sampling_period) {
+  TimedTrace out;
+  out.num_threads = num_threads;
+  out.sampling_period = decoded.events.empty() ? 0 : sampling_period;
+  out.thread_states.resize(std::size_t(num_threads));
+
+  // State records carry the full state vector; build intervals per thread
+  // by splitting at records where that thread's code changes.
+  std::vector<std::uint8_t> cur(std::size_t(num_threads), 0 /*idle*/);
+  std::vector<cycle_t> since(std::size_t(num_threads), 0);
+  bool have_any = false;
+  cycle_t first_clock = 0;
+
+  for (std::size_t i = 0; i < decoded.states.size(); ++i) {
+    const StateRecord& r = decoded.states[i];
+    const cycle_t t = decoded.state_clocks[i];
+    HLSPROF_CHECK(static_cast<int>(r.states.size()) == num_threads,
+                  "state record thread count mismatch");
+    if (!have_any) {
+      have_any = true;
+      first_clock = t;
+      for (int k = 0; k < num_threads; ++k) {
+        cur[std::size_t(k)] = r.states[std::size_t(k)];
+        since[std::size_t(k)] = t;
+      }
+      continue;
+    }
+    for (int k = 0; k < num_threads; ++k) {
+      if (r.states[std::size_t(k)] != cur[std::size_t(k)]) {
+        if (t > since[std::size_t(k)]) {
+          out.thread_states[std::size_t(k)].push_back(
+              StateInterval{sim::ThreadState(cur[std::size_t(k)]),
+                            since[std::size_t(k)], t});
+        }
+        cur[std::size_t(k)] = r.states[std::size_t(k)];
+        since[std::size_t(k)] = t;
+      }
+    }
+  }
+  const cycle_t end = std::max(run_end, have_any ? first_clock : 0);
+  if (have_any) {
+    for (int k = 0; k < num_threads; ++k) {
+      if (end > since[std::size_t(k)]) {
+        out.thread_states[std::size_t(k)].push_back(StateInterval{
+            sim::ThreadState(cur[std::size_t(k)]), since[std::size_t(k)],
+            end});
+      }
+    }
+  }
+  out.duration = end;
+
+  out.events.reserve(decoded.events.size());
+  for (std::size_t i = 0; i < decoded.events.size(); ++i) {
+    const EventRecord& r = decoded.events[i];
+    out.events.push_back(EventSample{r.kind, thread_id_t(r.thread),
+                                     decoded.event_clocks[i], r.value});
+  }
+  return out;
+}
+
+}  // namespace hlsprof::trace

@@ -1,0 +1,73 @@
+// Host-side reconstruction of the execution timeline from decoded raw
+// records: per-thread state intervals plus sampled event values. This is
+// the neutral in-memory form the Paraver writer and the analysis library
+// consume.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/hooks.hpp"
+#include "trace/records.hpp"
+
+namespace hlsprof::trace {
+
+struct StateInterval {
+  sim::ThreadState state = sim::ThreadState::idle;
+  cycle_t begin = 0;
+  cycle_t end = 0;  // exclusive
+};
+
+struct EventSample {
+  EventKind kind = EventKind::stall_cycles;
+  thread_id_t thread = 0;
+  cycle_t t = 0;  // sampling-window start
+  std::uint64_t value = 0;
+};
+
+/// Paraver communication record. The paper defers communication records to
+/// multi-FPGA future work; as a first step we emit host<->device map()
+/// transfers as communications anchored on thread 0 (tag 1 = to device,
+/// tag 2 = from device).
+struct CommRecord {
+  thread_id_t thread = 0;
+  cycle_t send = 0;  // transfer start
+  cycle_t recv = 0;  // transfer end
+  std::uint64_t bytes = 0;
+  int tag = 0;
+};
+
+inline constexpr int kCommTagToDevice = 1;
+inline constexpr int kCommTagFromDevice = 2;
+
+struct TimedTrace {
+  int num_threads = 0;
+  cycle_t duration = 0;          // end of the last state interval
+  cycle_t sampling_period = 0;   // 0 if no event records present
+  std::vector<std::vector<StateInterval>> thread_states;  // per thread
+  std::vector<EventSample> events;  // in record order
+  std::vector<CommRecord> comms;    // host<->device transfers (extension)
+
+  /// Fraction of [0, duration) thread `tid` spent in `s`.
+  double state_fraction(thread_id_t tid, sim::ThreadState s) const;
+  /// Fraction across all threads (sum of state time / (threads*duration)).
+  double state_fraction(sim::ThreadState s) const;
+  /// Total cycles all threads spent in `s`.
+  cycle_t state_cycles(sim::ThreadState s) const;
+
+  /// Sum of event values of `kind` across threads and windows.
+  std::uint64_t event_total(EventKind kind) const;
+
+  /// Per-window total of `kind` across threads: pairs (window_start, sum),
+  /// sorted by window start. Adjacent-window series for bandwidth /
+  /// FLOP-rate curves (paper Figs. 7-9).
+  std::vector<std::pair<cycle_t, std::uint64_t>> event_series(
+      EventKind kind) const;
+};
+
+/// Build the timeline from decoded records. `run_end` clamps/extends the
+/// final state interval (the tracer knows when the run finished).
+TimedTrace build_timed_trace(const DecodedTrace& decoded, int num_threads,
+                             cycle_t run_end, cycle_t sampling_period);
+
+}  // namespace hlsprof::trace

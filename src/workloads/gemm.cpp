@@ -1,0 +1,363 @@
+#include "workloads/gemm.hpp"
+
+#include "common/error.hpp"
+
+namespace hlsprof::workloads {
+
+using ir::KernelBuilder;
+using ir::LocalHandle;
+using ir::MapDir;
+using ir::PtrHandle;
+using ir::Type;
+using ir::Val;
+
+namespace {
+
+struct GemmArgs {
+  PtrHandle A, B, C;
+  Val dim, tid, nt;
+};
+
+GemmArgs common_args(KernelBuilder& kb, const GemmConfig& cfg) {
+  const std::int64_t n = cfg.dim;
+  GemmArgs a;
+  a.A = kb.ptr_arg("A", Type::f32(), MapDir::to, n * n);
+  a.B = kb.ptr_arg("B", Type::f32(), MapDir::to, n * n);
+  a.C = kb.ptr_arg("C", Type::f32(), MapDir::tofrom, n * n);
+  a.dim = kb.c32(n);
+  a.tid = kb.thread_id();
+  a.nt = kb.num_threads_val();
+  return a;
+}
+
+void check_cfg(const GemmConfig& cfg, bool blocked) {
+  HLSPROF_CHECK(cfg.dim > 0 && cfg.threads > 0, "bad GEMM config");
+  HLSPROF_CHECK(cfg.dim % cfg.threads == 0,
+                "dim must be a multiple of the thread count");
+  HLSPROF_CHECK(cfg.vector_len >= 1 && cfg.vector_len <= ir::kMaxLanes &&
+                    cfg.dim % cfg.vector_len == 0,
+                "dim must be a multiple of vector_len");
+  if (blocked) {
+    HLSPROF_CHECK(cfg.block > 0 && cfg.block % cfg.vector_len == 0 &&
+                      cfg.dim % cfg.block == 0,
+                  "dim must be a multiple of block, and block a multiple of "
+                  "vector_len");
+  }
+}
+
+}  // namespace
+
+// ---- v1: naive (paper Fig. 3) ------------------------------------------
+// All threads cooperate on every output element: the k loop is split
+// across threads and the partial sums are merged under a critical section.
+ir::Kernel gemm_naive(const GemmConfig& cfg) {
+  check_cfg(cfg, false);
+  KernelBuilder kb("gemm_v1_naive", cfg.threads);
+  GemmArgs g = common_args(kb, cfg);
+
+  kb.for_loop("i", kb.c32(0), g.dim, kb.c32(1), [&](Val i) {
+    kb.for_loop("j", kb.c32(0), g.dim, kb.c32(1), [&](Val j) {
+      auto sum = kb.var_init("sum", kb.cf32(0.0));
+      Val row = i * g.dim;
+      kb.for_loop("k", g.tid, g.dim, g.nt, [&](Val k) {
+        Val a = kb.load(g.A, row + k);
+        Val b = kb.load(g.B, k * g.dim + j);
+        sum.set(sum.get() + a * b);
+      });
+      kb.critical(0, [&] {
+        Val idx = row + j;
+        Val c = kb.load(g.C, idx);
+        kb.store(g.C, idx, c + sum.get());
+      });
+    });
+  });
+  return std::move(kb).finish();
+}
+
+// ---- v2: no critical sections -------------------------------------------
+// Threads own disjoint output columns, so the update of C needs no lock
+// (paper §V-C "No Critical Sections": a minor redistribution of work that
+// removes all critical/spin states).
+ir::Kernel gemm_no_critical(const GemmConfig& cfg) {
+  check_cfg(cfg, false);
+  KernelBuilder kb("gemm_v2_no_critical", cfg.threads);
+  GemmArgs g = common_args(kb, cfg);
+
+  kb.for_loop("i", kb.c32(0), g.dim, kb.c32(1), [&](Val i) {
+    kb.for_loop("j", g.tid, g.dim, g.nt, [&](Val j) {
+      auto sum = kb.var_init("sum", kb.cf32(0.0));
+      Val row = i * g.dim;
+      kb.for_loop("k", kb.c32(0), g.dim, kb.c32(1), [&](Val k) {
+        Val a = kb.load(g.A, row + k);
+        Val b = kb.load(g.B, k * g.dim + j);
+        sum.set(sum.get() + a * b);
+      });
+      kb.store(g.C, row + j, sum.get());
+    });
+  });
+  return std::move(kb).finish();
+}
+
+// ---- v3: partial vectorization (paper Fig. 4) ---------------------------
+// 128-bit vector loads of A; B stays scalar (it would need a transpose).
+// As in the paper's Fig. 4, the *outer* i loop is now distributed across
+// threads: the threads march through j/k roughly in lockstep and their B
+// accesses hit the same DRAM rows, which — together with the wider A
+// accesses — is where the improved memory throughput comes from.
+// vector_len independent scalar accumulators keep the recurrence II low.
+ir::Kernel gemm_vectorized(const GemmConfig& cfg) {
+  check_cfg(cfg, false);
+  const int VL = cfg.vector_len;
+  KernelBuilder kb("gemm_v3_vectorized", cfg.threads);
+  GemmArgs g = common_args(kb, cfg);
+
+  kb.for_loop("i", g.tid, g.dim, g.nt, [&](Val i) {
+    kb.for_loop("j", kb.c32(0), g.dim, kb.c32(1), [&](Val j) {
+      std::vector<ir::VarHandle> acc;
+      for (int v = 0; v < VL; ++v) {
+        acc.push_back(kb.var_init("acc" + std::to_string(v), kb.cf32(0.0)));
+      }
+      Val row = i * g.dim;
+      kb.for_loop("k", kb.c32(0), g.dim, kb.c32(std::int64_t(VL)),
+                  [&](Val k) {
+                    Val va = kb.load(g.A, row + k, VL);
+                    for (int v = 0; v < VL; ++v) {
+                      Val b = kb.load(g.B, (k + std::int64_t(v)) * g.dim + j);
+                      acc[std::size_t(v)].set(
+                          acc[std::size_t(v)].get() + kb.extract(va, v) * b);
+                    }
+                  });
+      Val sum = acc[0].get();
+      for (int v = 1; v < VL; ++v) sum = sum + acc[std::size_t(v)].get();
+      kb.store(g.C, row + j, sum);
+    });
+  });
+  return std::move(kb).finish();
+}
+
+namespace {
+
+/// Emit the block-load loop shared by v4/v5: copy a block x block tile of
+/// `src` starting at (r0, c0) into `dst_local` at `dst_off`, `load_lanes`
+/// elements per external load. The paper's blocked version (Fig. 8) loads
+/// element-wise; only the double-buffered rewrite (Fig. 5) uses VECTOR
+/// loads — pass 1 or cfg.vector_len accordingly.
+void emit_block_load(KernelBuilder& kb, const GemmConfig& cfg, PtrHandle src,
+                     Val dim, Val r0, Val c0, LocalHandle dst, Val dst_off,
+                     int load_lanes) {
+  const int B = cfg.block;
+  HLSPROF_CHECK(B % load_lanes == 0, "block must be a multiple of load width");
+  kb.for_loop(
+      "ld_m", kb.c32(0), kb.c32(B), kb.c32(1),
+      [&](Val m) {
+        Val src_row = (r0 + m) * dim + c0;
+        Val dst_row = dst_off + m * std::int64_t(B);
+        for (int v = 0; v < B / load_lanes; ++v) {
+          Val x =
+              kb.load(src, src_row + std::int64_t(v * load_lanes), load_lanes);
+          kb.store_local(dst, dst_row + std::int64_t(v * load_lanes), x);
+        }
+      },
+      ir::LoopOpts{.pipeline = true, .trip_hint = B});
+}
+
+/// Emit the on-block compute loop shared by v4/v5: C_local += A_tile x
+/// B_tile, fully unrolled in y (vector groups) and v.
+void emit_block_compute(KernelBuilder& kb, const GemmConfig& cfg,
+                        LocalHandle a_local, LocalHandle b_local,
+                        LocalHandle c_local, Val a_off, Val b_off) {
+  const int B = cfg.block;
+  const int VL = cfg.vector_len;
+  kb.for_loop(
+      "mm_x", kb.c32(0), kb.c32(B), kb.c32(1),
+      [&](Val x) {
+        Val crow = x * std::int64_t(B);
+        Val arow = a_off + crow;
+        for (int yb = 0; yb < B / VL; ++yb) {
+          Val accv = kb.load_local(c_local, crow + std::int64_t(yb * VL), VL);
+          for (int v = 0; v < B; ++v) {
+            Val a_s = kb.load_local(a_local, arow + std::int64_t(v));
+            Val bv = kb.load_local(
+                b_local, b_off + std::int64_t(v * B + yb * VL), VL);
+            accv = accv + kb.broadcast(a_s, VL) * bv;
+          }
+          kb.store_local(c_local, crow + std::int64_t(yb * VL), accv);
+        }
+      },
+      ir::LoopOpts{.pipeline = true, .trip_hint = B});
+}
+
+}  // namespace
+
+// ---- v4: blocked (paper §V-C "Blocked version") ---------------------------
+// Stages block x block tiles of A and B in local memory, computes on the
+// tile, and writes the finished C tile back — trading external bandwidth
+// for on-chip bandwidth. The load and compute phases are distinct, which
+// is exactly what the paper's Fig. 8 trace shows.
+ir::Kernel gemm_blocked(const GemmConfig& cfg) {
+  check_cfg(cfg, true);
+  const int B = cfg.block;
+  const int VL = cfg.vector_len;
+  KernelBuilder kb("gemm_v4_blocked", cfg.threads);
+  GemmArgs g = common_args(kb, cfg);
+  LocalHandle a_loc = kb.local_array("A_local", ir::Scalar::f32, B * B);
+  LocalHandle b_loc = kb.local_array("B_local", ir::Scalar::f32, B * B);
+  LocalHandle c_loc = kb.local_array("C_local", ir::Scalar::f32, B * B);
+
+  Val bs = kb.c32(B);
+  kb.for_loop("ib", g.tid * std::int64_t(B), g.dim, g.nt * std::int64_t(B),
+              [&](Val ib) {
+    kb.for_loop("jb", kb.c32(0), g.dim, bs, [&](Val jb) {
+      // Zero the C tile.
+      kb.for_loop("cz", kb.c32(0), kb.c32(B * B), kb.c32(VL), [&](Val z) {
+        kb.store_local(c_loc, z, kb.broadcast(kb.cf32(0.0), VL));
+      });
+      kb.for_loop("kb", kb.c32(0), g.dim, bs, [&](Val kbv) {
+        emit_block_load(kb, cfg, g.A, g.dim, ib, kbv, a_loc, kb.c32(0),
+                        /*load_lanes=*/1);
+        emit_block_load(kb, cfg, g.B, g.dim, kbv, jb, b_loc, kb.c32(0),
+                        /*load_lanes=*/1);
+        emit_block_compute(kb, cfg, a_loc, b_loc, c_loc, kb.c32(0),
+                           kb.c32(0));
+      });
+      // Write the finished tile back.
+      kb.for_loop(
+          "wb_m", kb.c32(0), bs, kb.c32(1),
+          [&](Val m) {
+            Val dst = (ib + m) * g.dim + jb;
+            Val src = m * std::int64_t(B);
+            for (int v = 0; v < B / VL; ++v) {
+              Val x = kb.load_local(c_loc, src + std::int64_t(v * VL), VL);
+              kb.store(g.C, dst + std::int64_t(v * VL), x);
+            }
+          },
+          ir::LoopOpts{.pipeline = true, .trip_hint = B});
+    });
+  });
+  return std::move(kb).finish();
+}
+
+// ---- v5: double buffering (paper Fig. 5 / Fig. 9) --------------------------
+// Two tile buffers: while the datapath computes on tile `phase-1`, the
+// loads of tile `phase` run concurrently (independent inner loops execute
+// in parallel in the dataflow graph). The k loop runs one extra iteration:
+// the first only prefetches, the last only computes (Fig. 9's segment D).
+ir::Kernel gemm_double_buffered(const GemmConfig& cfg) {
+  check_cfg(cfg, true);
+  const int B = cfg.block;
+  const int VL = cfg.vector_len;
+  const std::int64_t BB = std::int64_t(B) * B;
+  KernelBuilder kb("gemm_v5_double_buffered", cfg.threads);
+  GemmArgs g = common_args(kb, cfg);
+  LocalHandle a_loc = kb.local_array("A_local", ir::Scalar::f32, 2 * BB);
+  LocalHandle b_loc = kb.local_array("B_local", ir::Scalar::f32, 2 * BB);
+  LocalHandle c_loc = kb.local_array("C_local", ir::Scalar::f32, BB);
+
+  Val bs = kb.c32(B);
+  kb.for_loop("ib", g.tid * std::int64_t(B), g.dim, g.nt * std::int64_t(B),
+              [&](Val ib) {
+    kb.for_loop("jb", kb.c32(0), g.dim, bs, [&](Val jb) {
+      kb.for_loop("cz", kb.c32(0), kb.c32(B * B), kb.c32(VL), [&](Val z) {
+        kb.store_local(c_loc, z, kb.broadcast(kb.cf32(0.0), VL));
+      });
+      // One extra k iteration: iteration p prefetches tile p and computes
+      // tile p-1.
+      kb.for_loop("kb", kb.c32(0), g.dim + std::int64_t(B), bs, [&](Val kbv) {
+        Val phase = kbv / std::int64_t(B);
+        Val cur_off = (phase % 2) * BB;
+        Val prev_off = ((phase + std::int64_t(1)) % 2) * BB;
+        Val do_load = kbv < g.dim;
+        Val do_compute = kb.gt(phase, kb.c32(0));
+        kb.concurrent(
+            {[&] {
+               kb.if_then(do_load, [&] {
+                 emit_block_load(kb, cfg, g.A, g.dim, ib, kbv, a_loc,
+                                 cur_off, cfg.vector_len);
+                 emit_block_load(kb, cfg, g.B, g.dim, kbv, jb, b_loc,
+                                 cur_off, cfg.vector_len);
+               });
+             },
+             [&] {
+               kb.if_then(do_compute, [&] {
+                 emit_block_compute(kb, cfg, a_loc, b_loc, c_loc, prev_off,
+                                    prev_off);
+               });
+             }},
+            /*user_asserted_independent=*/true);
+      });
+      kb.for_loop(
+          "wb_m", kb.c32(0), bs, kb.c32(1),
+          [&](Val m) {
+            Val dst = (ib + m) * g.dim + jb;
+            Val src = m * std::int64_t(B);
+            for (int v = 0; v < B / VL; ++v) {
+              Val x = kb.load_local(c_loc, src + std::int64_t(v * VL), VL);
+              kb.store(g.C, dst + std::int64_t(v * VL), x);
+            }
+          },
+          ir::LoopOpts{.pipeline = true, .trip_hint = B});
+    });
+  });
+  return std::move(kb).finish();
+}
+
+// ---- extension: blocked GEMM with preloader DMA tile loads ----------------
+ir::Kernel gemm_preloaded(const GemmConfig& cfg) {
+  check_cfg(cfg, true);
+  const int B = cfg.block;
+  const int VL = cfg.vector_len;
+  KernelBuilder kb("gemm_v4p_preloaded", cfg.threads);
+  GemmArgs g = common_args(kb, cfg);
+  LocalHandle a_loc = kb.local_array("A_local", ir::Scalar::f32, B * B);
+  LocalHandle b_loc = kb.local_array("B_local", ir::Scalar::f32, B * B);
+  LocalHandle c_loc = kb.local_array("C_local", ir::Scalar::f32, B * B);
+
+  Val bs = kb.c32(B);
+  kb.for_loop("ib", g.tid * std::int64_t(B), g.dim, g.nt * std::int64_t(B),
+              [&](Val ib) {
+    kb.for_loop("jb", kb.c32(0), g.dim, bs, [&](Val jb) {
+      kb.for_loop("cz", kb.c32(0), kb.c32(B * B), kb.c32(VL), [&](Val z) {
+        kb.store_local(c_loc, z, kb.broadcast(kb.cf32(0.0), VL));
+      });
+      kb.for_loop("kb", kb.c32(0), g.dim, bs, [&](Val kbv) {
+        // Tile loads as DMA bursts: one preload per tile row, issued by
+        // the preloader block rather than element-wise thread-port loads.
+        kb.for_loop(
+            "pl", kb.c32(0), bs, kb.c32(1),
+            [&](Val m) {
+              Val row = m * std::int64_t(B);
+              kb.preload(a_loc, row, g.A, (ib + m) * g.dim + kbv, bs);
+              kb.preload(b_loc, row, g.B, (kbv + m) * g.dim + jb, bs);
+            },
+            ir::LoopOpts{.trip_hint = B});
+        emit_block_compute(kb, cfg, a_loc, b_loc, c_loc, kb.c32(0),
+                           kb.c32(0));
+      });
+      kb.for_loop(
+          "wb_m", kb.c32(0), bs, kb.c32(1),
+          [&](Val m) {
+            Val dst = (ib + m) * g.dim + jb;
+            Val src = m * std::int64_t(B);
+            for (int v = 0; v < B / VL; ++v) {
+              Val x = kb.load_local(c_loc, src + std::int64_t(v * VL), VL);
+              kb.store(g.C, dst + std::int64_t(v * VL), x);
+            }
+          },
+          ir::LoopOpts{.trip_hint = B});
+    });
+  });
+  return std::move(kb).finish();
+}
+
+const std::vector<GemmVersion>& gemm_versions() {
+  static const std::vector<GemmVersion> versions = {
+      {"Naive", gemm_naive},
+      {"No Critical Sections", gemm_no_critical},
+      {"Partial Vectorization", gemm_vectorized},
+      {"Blocked", gemm_blocked},
+      {"Double Buffering", gemm_double_buffered},
+  };
+  return versions;
+}
+
+}  // namespace hlsprof::workloads

@@ -1,0 +1,45 @@
+// The paper's GEMM case study (§V-C): five versions of single-precision
+// matrix multiplication, each the next step of the optimization journey
+// the Paraver traces guide (Figs. 3-5):
+//   v1 naive          — k-loop split across threads, critical update of C
+//   v2 no-critical    — threads own output elements, no serialization
+//   v3 vectorized     — 128-bit vector loads of A (partial vectorization)
+//   v4 blocked        — sub-matrices staged in local (BRAM) memory
+//   v5 double-buffered— prefetch of the next block overlaps compute
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace hlsprof::workloads {
+
+struct GemmConfig {
+  int dim = 256;       // square matrix dimension
+  int threads = 8;     // hardware threads (paper uses 8)
+  int vector_len = 4;  // 128-bit vectors of f32 (paper §V-C)
+  int block = 8;       // block edge for v4/v5 (must be multiple of vector_len)
+};
+
+ir::Kernel gemm_naive(const GemmConfig& cfg);
+ir::Kernel gemm_no_critical(const GemmConfig& cfg);
+ir::Kernel gemm_vectorized(const GemmConfig& cfg);
+ir::Kernel gemm_blocked(const GemmConfig& cfg);
+ir::Kernel gemm_double_buffered(const GemmConfig& cfg);
+
+/// Extension beyond the paper's five versions: the blocked GEMM with tile
+/// loads issued as preloader DMA bursts (the Fig. 1 preloader block, which
+/// the paper describes but does not evaluate separately). Used by the
+/// preloader ablation.
+ir::Kernel gemm_preloaded(const GemmConfig& cfg);
+
+/// All five versions in the paper's order, with the paper's names.
+struct GemmVersion {
+  std::string name;
+  std::function<ir::Kernel(const GemmConfig&)> build;
+};
+const std::vector<GemmVersion>& gemm_versions();
+
+}  // namespace hlsprof::workloads

@@ -1,0 +1,31 @@
+// The paper's second case study (§V-D, Fig. 10): the infinite series for
+// pi, sum 4/(1+x^2), distributed across threads with a critical-section
+// reduction. Single precision on purpose — the paper's numerical-
+// instability observation depends on f32 accumulation.
+#pragma once
+
+#include "ir/builder.hpp"
+
+namespace hlsprof::workloads {
+
+struct PiConfig {
+  std::int64_t steps = 1000000;
+  int threads = 8;
+  int unroll = 16;  // lanes of independent accumulators (Fig. 10's BS_compute)
+};
+
+/// Kernel args: "steps" (i32), "inv_steps" (f32, precomputed 1/steps), and
+/// "out" (f32[1], tofrom) receiving the reduced sum.
+ir::Kernel pi_series(const PiConfig& cfg);
+
+/// Host-side double-precision reference of the same series.
+double pi_reference(std::int64_t steps);
+
+/// Analytic peak GFLOP/s of the pi accelerator: flops per iteration over
+/// the recurrence-II cycles, across all threads, at `fmax_mhz`. Used for
+/// the paper's 15e9-iteration extrapolation (the paper, too, only projects
+/// that point — f32 is already unstable there).
+double pi_peak_gflops(const PiConfig& cfg, int recurrence_ii,
+                      int flops_per_lane_iter, double fmax_mhz);
+
+}  // namespace hlsprof::workloads

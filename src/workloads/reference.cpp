@@ -1,0 +1,53 @@
+#include "workloads/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hlsprof::workloads {
+
+std::vector<float> gemm_reference(const std::vector<float>& a,
+                                  const std::vector<float>& b, int dim) {
+  HLSPROF_CHECK(a.size() >= std::size_t(dim) * std::size_t(dim) &&
+                    b.size() >= std::size_t(dim) * std::size_t(dim),
+                "reference inputs too small");
+  std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < dim; ++k) {
+        sum += double(a[std::size_t(i * dim + k)]) *
+               double(b[std::size_t(k * dim + j)]);
+      }
+      c[std::size_t(i * dim + j)] = float(sum);
+    }
+  }
+  return c;
+}
+
+std::vector<float> random_matrix(int dim, std::uint64_t seed) {
+  return random_vector(std::int64_t(dim) * dim, seed);
+}
+
+std::vector<float> random_vector(std::int64_t n, std::uint64_t seed, float lo,
+                                 float hi) {
+  SplitMix64 rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (float& x : v) x = rng.next_float(lo, hi);
+  return v;
+}
+
+double max_rel_error(const std::vector<float>& a,
+                     const std::vector<float>& b) {
+  HLSPROF_CHECK(a.size() == b.size(), "size mismatch in max_rel_error");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(1.0, std::fabs(double(b[i])));
+    worst = std::max(worst, std::fabs(double(a[i]) - double(b[i])) / denom);
+  }
+  return worst;
+}
+
+}  // namespace hlsprof::workloads

@@ -1,0 +1,24 @@
+// Host-side reference implementations and input generators used by tests,
+// examples, and benches to validate the simulated accelerators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hlsprof::workloads {
+
+/// Double-precision reference C = A * B for dim x dim row-major matrices.
+std::vector<float> gemm_reference(const std::vector<float>& a,
+                                  const std::vector<float>& b, int dim);
+
+/// Deterministic pseudo-random matrix with entries in [-1, 1).
+std::vector<float> random_matrix(int dim, std::uint64_t seed);
+
+/// Deterministic pseudo-random vector with entries in [lo, hi).
+std::vector<float> random_vector(std::int64_t n, std::uint64_t seed,
+                                 float lo = -1.0f, float hi = 1.0f);
+
+/// Max |a-b| / max(1, |b|) over two equal-sized vectors.
+double max_rel_error(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace hlsprof::workloads

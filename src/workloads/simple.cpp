@@ -1,0 +1,153 @@
+#include "workloads/simple.hpp"
+
+#include "common/error.hpp"
+
+namespace hlsprof::workloads {
+
+using ir::KernelBuilder;
+using ir::MapDir;
+using ir::Type;
+using ir::Val;
+
+ir::Kernel vecadd(std::int64_t n, int threads, int lanes) {
+  HLSPROF_CHECK(n > 0 && n % (std::int64_t(threads) * lanes) == 0,
+                "n must be a multiple of threads*lanes");
+  KernelBuilder kb("vecadd", threads);
+  auto x = kb.ptr_arg("x", Type::f32(), MapDir::to, n);
+  auto y = kb.ptr_arg("y", Type::f32(), MapDir::to, n);
+  auto z = kb.ptr_arg("z", Type::f32(), MapDir::from, n);
+  Val tid = kb.thread_id();
+  Val nt = kb.num_threads_val();
+  Val nv = kb.c32(n);
+  kb.for_loop("i", tid * std::int64_t(lanes), nv,
+              nt * std::int64_t(lanes), [&](Val i) {
+                Val a = kb.load(x, i, lanes);
+                Val b = kb.load(y, i, lanes);
+                kb.store(z, i, a + b);
+              });
+  return std::move(kb).finish();
+}
+
+ir::Kernel dot(std::int64_t n, int threads) {
+  HLSPROF_CHECK(n > 0 && n % threads == 0, "n must be a multiple of threads");
+  KernelBuilder kb("dot", threads);
+  auto x = kb.ptr_arg("x", Type::f32(), MapDir::to, n);
+  auto y = kb.ptr_arg("y", Type::f32(), MapDir::to, n);
+  auto out = kb.ptr_arg("out", Type::f32(), MapDir::tofrom, 1);
+  Val tid = kb.thread_id();
+  Val nt = kb.num_threads_val();
+  auto sum = kb.var_init("sum", kb.cf32(0.0));
+  kb.for_loop("i", tid, kb.c32(n), nt, [&](Val i) {
+    sum.set(sum.get() + kb.load(x, i) * kb.load(y, i));
+  });
+  kb.critical(0, [&] {
+    Val zero = kb.c32(0);
+    kb.store(out, zero, kb.load(out, zero) + sum.get());
+  });
+  return std::move(kb).finish();
+}
+
+ir::Kernel stencil3(std::int64_t n, int threads) {
+  HLSPROF_CHECK(n >= 4, "stencil needs at least 4 points");
+  KernelBuilder kb("stencil3", threads);
+  auto x = kb.ptr_arg("x", Type::f32(), MapDir::to, n);
+  auto y = kb.ptr_arg("y", Type::f32(), MapDir::from, n);
+  Val tid = kb.thread_id();
+  Val nt = kb.num_threads_val();
+  Val third = kb.cf32(1.0 / 3.0);
+  kb.for_loop("i", tid + std::int64_t(1), kb.c32(n - 1), nt, [&](Val i) {
+    Val s = kb.load(x, i - std::int64_t(1)) + kb.load(x, i) +
+            kb.load(x, i + std::int64_t(1));
+    kb.store(y, i, s * third);
+  });
+  // Boundary copy-through, done by thread 0 only.
+  kb.if_then(kb.eq(tid, kb.c32(0)), [&] {
+    Val zero = kb.c32(0);
+    kb.store(y, zero, kb.load(x, zero));
+    Val last = kb.c32(n - 1);
+    kb.store(y, last, kb.load(x, last));
+  });
+  return std::move(kb).finish();
+}
+
+ir::Kernel barrier_phases(std::int64_t n, int threads) {
+  HLSPROF_CHECK(n > 0 && n % threads == 0, "n must be a multiple of threads");
+  KernelBuilder kb("barrier_phases", threads);
+  auto x = kb.ptr_arg("x", Type::f32(), MapDir::to, n);
+  auto z = kb.ptr_arg("z", Type::f32(), MapDir::alloc, n);
+  auto w = kb.ptr_arg("w", Type::f32(), MapDir::from, n);
+  Val tid = kb.thread_id();
+  Val nt = kb.num_threads_val();
+  Val nv = kb.c32(n);
+  kb.for_loop("p1", tid, nv, nt, [&](Val i) {
+    kb.store(z, i, kb.load(x, i) * 2.0);
+  });
+  kb.barrier();
+  kb.for_loop("p2", tid, nv, nt, [&](Val i) {
+    Val j = (i + std::int64_t(1)) % nv;
+    kb.store(w, i, kb.load(z, j));
+  });
+  return std::move(kb).finish();
+}
+
+ir::Kernel jacobi2d(int n, int iters, int threads) {
+  HLSPROF_CHECK(n >= 4 && iters >= 1 && threads >= 1, "bad jacobi2d config");
+  const std::int64_t nn = std::int64_t(n) * n;
+  KernelBuilder kb("jacobi2d", threads);
+  auto u = kb.ptr_arg("u", Type::f32(), MapDir::tofrom, nn);
+  auto v = kb.ptr_arg("v", Type::f32(), MapDir::alloc, nn);
+  Val tid = kb.thread_id();
+  Val nt = kb.num_threads_val();
+  Val nv = kb.c32(n);
+  Val quarter = kb.cf32(0.25);
+
+  // Seed the ping-pong buffer so boundary cells agree in both copies.
+  kb.for_loop("seed", tid, kb.c32(nn), nt,
+              [&](Val i) { kb.store(v, i, kb.load(u, i)); });
+  kb.barrier();
+
+  auto sweep = [&](ir::PtrHandle src, ir::PtrHandle dst) {
+    kb.for_loop("i", tid + std::int64_t(1), kb.c32(n - 1), nt, [&](Val i) {
+      Val row = i * nv;
+      kb.for_loop("j", kb.c32(1), kb.c32(n - 1), kb.c32(1), [&](Val j) {
+        Val center = row + j;
+        Val sum = kb.load(src, center - std::int64_t(1)) +
+                  kb.load(src, center + std::int64_t(1)) +
+                  kb.load(src, center - std::int64_t(n)) +
+                  kb.load(src, center + std::int64_t(n));
+        kb.store(dst, center, sum * quarter);
+      });
+    });
+  };
+
+  kb.for_loop(
+      "it", kb.c32(0), kb.c32(iters), kb.c32(1),
+      [&](Val it) {
+        Val even = kb.eq(it % std::int64_t(2), kb.c32(0));
+        kb.if_then_else(even, [&] { sweep(u, v); }, [&] { sweep(v, u); });
+        kb.barrier();
+      },
+      ir::LoopOpts{.pipeline = false});
+  return std::move(kb).finish();
+}
+
+std::vector<float> jacobi2d_reference(const std::vector<float>& u0, int n,
+                                      int iters) {
+  std::vector<double> a(u0.begin(), u0.end());
+  std::vector<double> b = a;
+  for (int it = 0; it < iters; ++it) {
+    for (int i = 1; i + 1 < n; ++i) {
+      for (int j = 1; j + 1 < n; ++j) {
+        b[std::size_t(i * n + j)] =
+            0.25 * (a[std::size_t(i * n + j - 1)] +
+                    a[std::size_t(i * n + j + 1)] +
+                    a[std::size_t((i - 1) * n + j)] +
+                    a[std::size_t((i + 1) * n + j)]);
+      }
+    }
+    std::swap(a, b);
+  }
+  return {a.begin(), a.end()};
+}
+
+}  // namespace hlsprof::workloads

@@ -1,0 +1,39 @@
+// Small kernels used by the quickstart example and the test suite:
+// elementwise vector add, dot product (critical reduction), a 3-point
+// stencil, and a barrier-synchronized two-phase kernel.
+#pragma once
+
+#include "ir/builder.hpp"
+
+namespace hlsprof::workloads {
+
+/// z[i] = x[i] + y[i], i strided across threads. `lanes` > 1 vectorizes.
+ir::Kernel vecadd(std::int64_t n, int threads, int lanes = 1);
+
+/// out[0] = sum_i x[i]*y[i]; per-thread partials merged under critical.
+ir::Kernel dot(std::int64_t n, int threads);
+
+/// y[i] = (x[i-1] + x[i] + x[i+1]) / 3 for i in [1, n-1); y[0], y[n-1]
+/// copied through.
+ir::Kernel stencil3(std::int64_t n, int threads);
+
+/// Two-phase kernel with a barrier: phase 1 writes z[i] = x[i] * 2, the
+/// barrier, then phase 2 reads a neighbour written by another thread:
+/// w[i] = z[(i + 1) mod n]. Wrong without the barrier.
+ir::Kernel barrier_phases(std::int64_t n, int threads);
+
+/// 2D Jacobi relaxation (5-point stencil), `iters` sweeps over an n x n
+/// grid, rows distributed across threads, barrier-synchronized ping-pong
+/// between `u` (tofrom) and `v` (alloc). The result is in `u` when `iters`
+/// is even, otherwise in `v` — run_jacobi2d_reference mirrors this. One of
+/// the HPC kernel classes the paper's introduction motivates (stencils on
+/// FPGAs [3]).
+ir::Kernel jacobi2d(int n, int iters, int threads);
+
+/// Host-side double-precision reference: `iters` sweeps in place over a
+/// copy of `u`; returns the grid in the same buffer parity the kernel
+/// leaves it (i.e. the final state of `u` after an even number of sweeps).
+std::vector<float> jacobi2d_reference(const std::vector<float>& u, int n,
+                                      int iters);
+
+}  // namespace hlsprof::workloads

@@ -1,0 +1,118 @@
+// Tests for the PGO advisor: each of the paper's case-study bottlenecks
+// must be diagnosed from the trace of the corresponding kernel, and must
+// disappear after the paper's corresponding optimization step.
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.hpp"
+#include "core/hlsprof.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/pi.hpp"
+#include "workloads/reference.hpp"
+
+namespace hlsprof::advisor {
+namespace {
+
+Report analyze_gemm(std::size_t version, int dim,
+                    cycle_t start_interval = 100, int block = 8) {
+  workloads::GemmConfig cfg;
+  cfg.dim = dim;
+  cfg.block = block;
+  hls::Design d =
+      core::compile(workloads::gemm_versions()[version].build(cfg));
+  core::RunOptions opts;
+  opts.sim.host.thread_start_interval = start_interval;
+  opts.profiling.sampling_period = 64;
+  core::Session s(d, opts);
+  auto a = workloads::random_matrix(dim, 1);
+  auto b = workloads::random_matrix(dim, 2);
+  std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
+  s.sim().bind_f32("A", a);
+  s.sim().bind_f32("B", b);
+  s.sim().bind_f32("C", c);
+  const auto r = s.run();
+  return analyze(d, r.sim, r.timeline);
+}
+
+TEST(Advisor, NaiveGemmDiagnosesCriticalAndLatency) {
+  const Report rep = analyze_gemm(0, 48);
+  EXPECT_TRUE(rep.has(Diagnosis::critical_serialization)) << rep.to_text();
+  EXPECT_TRUE(rep.has(Diagnosis::memory_latency_bound)) << rep.to_text();
+}
+
+TEST(Advisor, NoCriticalVersionClearsSerialization) {
+  const Report rep = analyze_gemm(1, 48);
+  EXPECT_FALSE(rep.has(Diagnosis::critical_serialization)) << rep.to_text();
+  EXPECT_TRUE(rep.has(Diagnosis::memory_latency_bound)) << rep.to_text();
+}
+
+TEST(Advisor, BlockedVersionDiagnosesPhaseSeparation) {
+  const Report rep = analyze_gemm(3, 64, 100, 16);
+  EXPECT_TRUE(rep.has(Diagnosis::phase_separation)) << rep.to_text();
+}
+
+TEST(Advisor, DoubleBufferingClearsPhaseSeparation) {
+  const Report rep = analyze_gemm(4, 64, 100, 16);
+  EXPECT_FALSE(rep.has(Diagnosis::phase_separation)) << rep.to_text();
+}
+
+TEST(Advisor, SmallPiRunDiagnosesStartOverhead) {
+  workloads::PiConfig cfg;
+  cfg.steps = 1000000;
+  hls::Design d = core::compile(workloads::pi_series(cfg));
+  core::Session s(d);  // default (realistic) start interval
+  std::vector<float> out(1, 0.0f);
+  s.sim().bind_f32("out", out);
+  s.sim().set_arg("steps", cfg.steps);
+  s.sim().set_arg("inv_steps", 1e-6);
+  const auto r = s.run();
+  const Report rep = analyze(d, r.sim, r.timeline);
+  EXPECT_TRUE(rep.has(Diagnosis::start_overhead)) << rep.to_text();
+  const Finding* f = rep.find(Diagnosis::start_overhead);
+  ASSERT_NE(f, nullptr);
+  EXPECT_GT(f->severity, 0.5);
+}
+
+TEST(Advisor, BigPiRunIsComputeBound) {
+  workloads::PiConfig cfg;
+  cfg.steps = 16000000;
+  hls::Design d = core::compile(workloads::pi_series(cfg));
+  core::RunOptions opts;
+  opts.sim.host.thread_start_interval = 100;
+  core::Session s(d, opts);
+  std::vector<float> out(1, 0.0f);
+  s.sim().bind_f32("out", out);
+  s.sim().set_arg("steps", cfg.steps);
+  s.sim().set_arg("inv_steps", 1.0 / double(cfg.steps));
+  const auto r = s.run();
+  const Report rep = analyze(d, r.sim, r.timeline);
+  EXPECT_TRUE(rep.has(Diagnosis::compute_bound)) << rep.to_text();
+  EXPECT_FALSE(rep.has(Diagnosis::start_overhead));
+  EXPECT_FALSE(rep.has(Diagnosis::memory_latency_bound));
+}
+
+TEST(Advisor, FindingsSortedBySeverity) {
+  const Report rep = analyze_gemm(0, 48);
+  for (std::size_t i = 1; i < rep.findings.size(); ++i) {
+    EXPECT_GE(rep.findings[i - 1].severity, rep.findings[i].severity);
+  }
+}
+
+TEST(Advisor, ReportTextMentionsDiagnosesAndRecommendations) {
+  const Report rep = analyze_gemm(0, 48);
+  const std::string text = rep.to_text();
+  EXPECT_NE(text.find("critical-serialization"), std::string::npos);
+  EXPECT_NE(text.find("recommendation:"), std::string::npos);
+  EXPECT_NE(text.find("evidence:"), std::string::npos);
+}
+
+TEST(Advisor, EmptyRunRejected) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 16;
+  hls::Design d = core::compile(workloads::gemm_naive(cfg));
+  sim::SimResult empty;
+  trace::TimedTrace t;
+  EXPECT_THROW(analyze(d, empty, t), Error);
+}
+
+}  // namespace
+}  // namespace hlsprof::advisor

@@ -1,0 +1,90 @@
+// Tests for the communication-record extension: host<->device map()
+// transfers emitted as Paraver type-3 records (first step toward the
+// paper's multi-FPGA future work).
+#include <gtest/gtest.h>
+
+#include "core/hlsprof.hpp"
+#include "paraver/reader.hpp"
+#include "paraver/writer.hpp"
+#include "workloads/reference.hpp"
+#include "workloads/simple.hpp"
+
+namespace hlsprof {
+namespace {
+
+core::RunResult run_vecadd() {
+  hls::Design d = core::compile(workloads::vecadd(256, 2, 1));
+  core::RunOptions opts;
+  opts.sim.host.thread_start_interval = 100;
+  core::Session s(d, opts);
+  auto x = workloads::random_vector(256, 1);
+  auto y = workloads::random_vector(256, 2);
+  std::vector<float> z(256);
+  s.sim().bind_f32("x", x);
+  s.sim().bind_f32("y", y);
+  s.sim().bind_f32("z", z);
+  return s.run();
+}
+
+TEST(CommRecords, SimReportsOneTransferPerMappedDirection) {
+  const auto r = run_vecadd();
+  // map(to: x, y) + map(from: z) = 3 transfers.
+  ASSERT_EQ(r.sim.transfers.size(), 3u);
+  EXPECT_EQ(r.sim.transfers[0].arg, "x");
+  EXPECT_TRUE(r.sim.transfers[0].to_device);
+  EXPECT_EQ(r.sim.transfers[2].arg, "z");
+  EXPECT_FALSE(r.sim.transfers[2].to_device);
+  for (const auto& t : r.sim.transfers) {
+    EXPECT_EQ(t.bytes, 256u * 4u);
+    EXPECT_LT(t.begin, t.end);
+  }
+  // Outbound transfer happens after the kernel finished.
+  EXPECT_GE(r.sim.transfers[2].begin, r.sim.kernel_done);
+}
+
+TEST(CommRecords, TimelineCarriesCommRecords) {
+  const auto r = run_vecadd();
+  ASSERT_EQ(r.timeline.comms.size(), 3u);
+  EXPECT_EQ(r.timeline.comms[0].tag, trace::kCommTagToDevice);
+  EXPECT_EQ(r.timeline.comms[2].tag, trace::kCommTagFromDevice);
+  EXPECT_EQ(r.timeline.comms[0].bytes, 1024u);
+}
+
+TEST(CommRecords, ParaverRoundTrip) {
+  const auto r = run_vecadd();
+  const auto files = paraver::to_paraver(r.timeline, "vecadd");
+  // Type-3 lines present in the .prv text.
+  EXPECT_NE(files.prv.find("\n3:1:1:1:1:"), std::string::npos);
+  const auto parsed = paraver::parse_prv(files.prv);
+  EXPECT_EQ(parsed.comm_records, 3);
+  ASSERT_EQ(parsed.trace.comms.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.trace.comms[i].send, r.timeline.comms[i].send);
+    EXPECT_EQ(parsed.trace.comms[i].recv, r.timeline.comms[i].recv);
+    EXPECT_EQ(parsed.trace.comms[i].bytes, r.timeline.comms[i].bytes);
+    EXPECT_EQ(parsed.trace.comms[i].tag, r.timeline.comms[i].tag);
+  }
+}
+
+TEST(CommRecords, MalformedCommRejected) {
+  std::string prv = "#Paraver (07/07/2026 at 12:00):100:1(1):1:1(1:1)\n";
+  prv += "3:1:1:1:1:10:11:64\n";  // too few fields
+  EXPECT_THROW(paraver::parse_prv(prv), Error);
+}
+
+TEST(CommRecords, NoTransfersWithoutMappedPointers) {
+  // alloc-only buffers move nothing.
+  ir::KernelBuilder kb("nomap", 1);
+  auto x = kb.ptr_arg("x", ir::Type::f32(), ir::MapDir::alloc, 8);
+  kb.store(x, kb.c32(0), kb.cf32(1));
+  hls::Design d = hls::compile(std::move(kb).finish());
+  sim::SimParams p;
+  p.host.thread_start_interval = 100;
+  sim::Simulator sim(d, p, 1 << 20);
+  const auto r = sim.run();
+  EXPECT_TRUE(r.transfers.empty());
+  EXPECT_EQ(r.kernel_start, 0u);
+}
+
+}  // namespace
+}  // namespace hlsprof

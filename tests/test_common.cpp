@@ -1,0 +1,270 @@
+// Unit tests for src/common: stats, strings, binned series, RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/binned_series.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof {
+namespace {
+
+// ---- stats ----------------------------------------------------------------
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanBasic) {
+  const std::vector<double> xs{1, 4};
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+}
+
+TEST(Stats, GeomeanSingle) {
+  const std::vector<double> xs{7.5};
+  EXPECT_NEAR(geomean(xs), 7.5, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geomean(xs), Error);
+}
+
+TEST(Stats, GeomeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MaxMin) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+}
+
+TEST(Stats, MaxOfEmptyThrows) {
+  EXPECT_THROW(max_of(std::vector<double>{}), Error);
+  EXPECT_THROW(min_of(std::vector<double>{}), Error);
+}
+
+TEST(Stats, StddevConstantIsZero) {
+  const std::vector<double> xs{5, 5, 5};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, StddevKnown) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{30, 10, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 20);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1), Error);
+  EXPECT_THROW(percentile(xs, 101), Error);
+}
+
+TEST(Stats, PercentileEmptyThrows) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), Error);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  rs.add(2);
+  rs.add(4);
+  rs.add(-1);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -1);
+  EXPECT_DOUBLE_EQ(rs.max(), 4);
+  EXPECT_DOUBLE_EQ(rs.sum(), 5);
+}
+
+TEST(Stats, RunningStatsMinMaxNeedSamples) {
+  RunningStats rs;
+  EXPECT_THROW(rs.min(), Error);
+  EXPECT_THROW(rs.max(), Error);
+}
+
+// ---- strings --------------------------------------------------------------
+
+TEST(Strings, StrfFormats) {
+  EXPECT_EQ(strf("a=%d b=%s", 3, "x"), "a=3 b=x");
+}
+
+TEST(Strings, StrfEmpty) { EXPECT_EQ(strf("%s", ""), ""); }
+
+TEST(Strings, StrfLongOutput) {
+  const std::string s = strf("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(Strings, JoinBasic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ':');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("#Paraver (x)", "#Paraver"));
+  EXPECT_FALSE(starts_with("#Par", "#Paraver"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(853522308ULL), "853,522,308");
+  EXPECT_EQ(with_commas(1234567890123ULL), "1,234,567,890,123");
+}
+
+// ---- BinnedSeries -----------------------------------------------------------
+
+TEST(BinnedSeries, RejectsZeroWidth) {
+  EXPECT_THROW(BinnedSeries(0), Error);
+}
+
+TEST(BinnedSeries, AddPlacesInCorrectBin) {
+  BinnedSeries s(10);
+  s.add(0, 1.0);
+  s.add(9, 1.0);
+  s.add(10, 5.0);
+  EXPECT_DOUBLE_EQ(s.bin(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.bin(1), 5.0);
+  EXPECT_EQ(s.num_bins(), 2u);
+}
+
+TEST(BinnedSeries, BinBeyondEndIsZero) {
+  BinnedSeries s(10);
+  s.add(5, 1.0);
+  EXPECT_DOUBLE_EQ(s.bin(100), 0.0);
+}
+
+TEST(BinnedSeries, AddRangeSplitsProportionally) {
+  BinnedSeries s(10);
+  s.add_range(5, 25, 20.0);  // spans bins 0 (5 cyc), 1 (10 cyc), 2 (5 cyc)
+  EXPECT_DOUBLE_EQ(s.bin(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.bin(1), 10.0);
+  EXPECT_DOUBLE_EQ(s.bin(2), 5.0);
+}
+
+TEST(BinnedSeries, AddRangeWithinOneBin) {
+  BinnedSeries s(100);
+  s.add_range(10, 20, 7.0);
+  EXPECT_DOUBLE_EQ(s.bin(0), 7.0);
+  EXPECT_EQ(s.num_bins(), 1u);
+}
+
+TEST(BinnedSeries, AddRangeEmptyIsNoop) {
+  BinnedSeries s(10);
+  s.add_range(20, 20, 5.0);
+  s.add_range(30, 20, 5.0);
+  EXPECT_EQ(s.num_bins(), 0u);
+}
+
+TEST(BinnedSeries, TotalConservedByAddRange) {
+  BinnedSeries s(7);
+  s.add_range(3, 100, 42.0);
+  EXPECT_NEAR(s.total(), 42.0, 1e-9);
+}
+
+TEST(BinnedSeries, RateDividesByWidth) {
+  BinnedSeries s(10);
+  s.add(0, 30.0);
+  EXPECT_DOUBLE_EQ(s.rate(0), 3.0);
+}
+
+TEST(BinnedSeries, Peak) {
+  BinnedSeries s(10);
+  EXPECT_DOUBLE_EQ(s.peak(), 0.0);
+  s.add(0, 3.0);
+  s.add(15, 9.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 9.0);
+}
+
+// ---- RNG ------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, FloatInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.next_float(-2.0f, 3.0f);
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LT(x, 3.0f);
+  }
+}
+
+TEST(Rng, NextBelowInBound) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+}  // namespace
+}  // namespace hlsprof

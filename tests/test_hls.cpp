@@ -1,0 +1,391 @@
+// Tests for the HLS layer: operator latencies/areas, pipelineability,
+// II computation (resource and recurrence), stage formation, design
+// statistics, area/fmax estimation, and compile-time checks.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hls/compiler.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/builder.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/pi.hpp"
+
+namespace hlsprof::hls {
+namespace {
+
+using ir::KernelBuilder;
+using ir::MapDir;
+using ir::Opcode;
+using ir::Type;
+using ir::Val;
+
+// ---- resource library -------------------------------------------------------
+
+TEST(Resources, LatencyTable) {
+  const ResourceLibrary lib;
+  EXPECT_EQ(lib.latency(Opcode::add, Type::i32()), lib.lat_int_alu);
+  EXPECT_EQ(lib.latency(Opcode::fadd, Type::f32()), lib.lat_fadd);
+  EXPECT_EQ(lib.latency(Opcode::fdiv, Type::f32()), lib.lat_fdiv);
+  EXPECT_EQ(lib.latency(Opcode::load_ext, Type::f32()), lib.ext_assumed_min);
+  EXPECT_EQ(lib.latency(Opcode::load_local, Type::f32()), lib.lat_local_mem);
+  EXPECT_EQ(lib.latency(Opcode::const_int, Type::i32()), 0);
+  EXPECT_EQ(lib.latency(Opcode::var_read, Type::i32()), 0);
+}
+
+TEST(Resources, ReduceLatencyGrowsWithLanes) {
+  const ResourceLibrary lib;
+  EXPECT_LT(lib.latency(Opcode::reduce_add, Type::f32(2)),
+            lib.latency(Opcode::reduce_add, Type::f32(16)));
+}
+
+TEST(Resources, VectorOpsScaleArea) {
+  const ResourceLibrary lib;
+  const Area s = lib.area(Opcode::fadd, Type::f32());
+  const Area v = lib.area(Opcode::fadd, Type::f32(4));
+  EXPECT_NEAR(v.alm, 4 * s.alm, 1e-9);
+  EXPECT_NEAR(v.ff, 4 * s.ff, 1e-9);
+}
+
+TEST(Resources, WideScalarsCostMore) {
+  const ResourceLibrary lib;
+  EXPECT_GT(lib.area(Opcode::fadd, Type::f64()).alm,
+            lib.area(Opcode::fadd, Type::f32()).alm);
+}
+
+TEST(Resources, FmaxModelMonotonicInSize) {
+  const FmaxModel m;
+  const double small = m.estimate(Area{10000, 0, 0, 0}, 4);
+  const double large = m.estimate(Area{200000, 0, 0, 0}, 4);
+  EXPECT_GT(small, large);
+  EXPECT_GE(large, m.floor_mhz);
+}
+
+TEST(Resources, AreaAccumulates) {
+  Area a{1, 2, 3, 4};
+  a += Area{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(a.alm, 11);
+  EXPECT_DOUBLE_EQ(a.bram_bits, 44);
+  const Area s = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.ff, 44);
+}
+
+// ---- pipelineability ------------------------------------------------------------
+
+TEST(Scheduler, PlainOpsArePipelineable) {
+  KernelBuilder kb("k", 1);
+  kb.for_loop("i", kb.c32(0), kb.c32(4), kb.c32(1),
+              [&](Val i) { (void)(i + std::int64_t(1)); });
+  const ir::Kernel k = std::move(kb).finish();
+  const auto* loop = std::get_if<ir::LoopStmt>(&k.body.stmts.back());
+  ASSERT_NE(loop, nullptr);
+  EXPECT_TRUE(is_pipelineable(*loop->body));
+}
+
+TEST(Scheduler, NestedLoopBlocksPipelining) {
+  KernelBuilder kb("k", 1);
+  kb.for_loop("i", kb.c32(0), kb.c32(4), kb.c32(1), [&](Val) {
+    kb.for_loop("j", kb.c32(0), kb.c32(4), kb.c32(1), [&](Val) {});
+  });
+  const ir::Kernel k = std::move(kb).finish();
+  const auto* loop = std::get_if<ir::LoopStmt>(&k.body.stmts.back());
+  EXPECT_FALSE(is_pipelineable(*loop->body));
+}
+
+TEST(Scheduler, CriticalBlocksPipelining) {
+  KernelBuilder kb("k", 2);
+  kb.for_loop("i", kb.c32(0), kb.c32(4), kb.c32(1),
+              [&](Val) { kb.critical(0, [] {}); });
+  const ir::Kernel k = std::move(kb).finish();
+  const auto* loop = std::get_if<ir::LoopStmt>(&k.body.stmts.back());
+  EXPECT_FALSE(is_pipelineable(*loop->body));
+}
+
+TEST(Scheduler, IfInsideLoopStillPipelineable) {
+  KernelBuilder kb("k", 1);
+  kb.for_loop("i", kb.c32(0), kb.c32(4), kb.c32(1), [&](Val i) {
+    kb.if_then(i < std::int64_t(2), [&] { kb.c32(1); });
+  });
+  const ir::Kernel k = std::move(kb).finish();
+  const auto* loop = std::get_if<ir::LoopStmt>(&k.body.stmts.back());
+  EXPECT_TRUE(is_pipelineable(*loop->body));
+}
+
+// ---- II computation ---------------------------------------------------------------
+
+/// Compile a single-loop kernel built by `body` and return its LoopInfo.
+template <typename Fn>
+LoopInfo loop_info_of(Fn body, int threads = 1) {
+  KernelBuilder kb("ii", threads);
+  auto mem = kb.ptr_arg("m", Type::f32(), MapDir::tofrom, 1024);
+  kb.for_loop("L", kb.c32(0), kb.c32(64), kb.c32(1),
+              [&](Val i) { body(kb, mem, i); });
+  Design d = compile(std::move(kb).finish());
+  return d.loop(0);
+}
+
+TEST(Scheduler, FaddRecurrenceSetsII) {
+  const ResourceLibrary lib;
+  KernelBuilder kb("acc", 1);
+  auto sum = kb.var_init("s", kb.cf32(0));
+  kb.for_loop("L", kb.c32(0), kb.c32(64), kb.c32(1),
+              [&](Val) { sum.set(sum.get() + kb.cf32(1)); });
+  Design d = compile(std::move(kb).finish());
+  EXPECT_EQ(d.loop(0).rec_ii, lib.lat_fadd);
+  EXPECT_EQ(d.loop(0).ii, lib.lat_fadd);
+}
+
+TEST(Scheduler, IntAccumulationHasLowII) {
+  KernelBuilder kb("acc", 1);
+  auto sum = kb.var_init("s", kb.c32(0));
+  kb.for_loop("L", kb.c32(0), kb.c32(64), kb.c32(1),
+              [&](Val) { sum.set(sum.get() + std::int64_t(1)); });
+  Design d = compile(std::move(kb).finish());
+  EXPECT_EQ(d.loop(0).rec_ii, 1);
+}
+
+TEST(Scheduler, InductionVariableDoesNotConstrainII) {
+  // A long dependent chain from the induction variable must NOT count as
+  // a recurrence (the controller advances the counter, not the body).
+  KernelBuilder kb("ind", 1);
+  auto mem = kb.ptr_arg("m", Type::f32(), MapDir::from, 1024);
+  auto sum = kb.var_init("s", kb.cf32(0));
+  kb.for_loop("L", kb.c32(0), kb.c32(64), kb.c32(1), [&](Val i) {
+    Val x = kb.to_f32(i * std::int64_t(3));      // int mul + cast
+    Val y = (x + 0.5) * 2.0;                     // fadd + fmul chain
+    sum.set(sum.get() + y / (y + 1.0));          // fdiv into the fadd
+    kb.store(mem, i, sum.get());
+  });
+  Design d = compile(std::move(kb).finish());
+  const ResourceLibrary lib;
+  EXPECT_EQ(d.loop(0).rec_ii, lib.lat_fadd);
+}
+
+TEST(Scheduler, LoadPortLimitsII) {
+  const LoopInfo li = loop_info_of([](KernelBuilder& kb, ir::PtrHandle mem,
+                                      Val i) {
+    Val a = kb.load(mem, i);
+    Val b = kb.load(mem, i + std::int64_t(64));
+    Val c = kb.load(mem, i + std::int64_t(128));
+    kb.store(mem, i + std::int64_t(256), a + b + c);
+  });
+  EXPECT_EQ(li.res_ii, 3);  // 3 loads through 1 read port
+  EXPECT_GE(li.ii, 3);
+}
+
+TEST(Scheduler, LocalPortsLimitII) {
+  KernelBuilder kb("lp", 1);
+  auto buf = kb.local_array("buf", ir::Scalar::f32, 64, /*ports=*/2);
+  kb.for_loop("L", kb.c32(0), kb.c32(16), kb.c32(1), [&](Val i) {
+    Val a = kb.load_local(buf, i);
+    Val b = kb.load_local(buf, i + std::int64_t(16));
+    Val c = kb.load_local(buf, i + std::int64_t(32));
+    Val d = kb.load_local(buf, i + std::int64_t(48));
+    kb.store_local(buf, i, a + b + c + d);
+  });
+  Design d = compile(std::move(kb).finish());
+  // 5 accesses through 2 ports -> ceil(5/2) = 3.
+  EXPECT_EQ(d.loop(0).res_ii, 3);
+}
+
+TEST(Scheduler, DepthCoversLatencies) {
+  const LoopInfo li =
+      loop_info_of([](KernelBuilder& kb, ir::PtrHandle mem, Val i) {
+        Val a = kb.load(mem, i);
+        kb.store(mem, i + std::int64_t(64), a * 2.0 + 1.0);
+      });
+  const ResourceLibrary lib;
+  // load(8) -> fmul(2) -> fadd(3) -> store(8)
+  EXPECT_GE(li.depth, lib.ext_assumed_min + lib.lat_fmul + lib.lat_fadd +
+                          lib.ext_assumed_min);
+}
+
+TEST(Scheduler, CensusCountsOpsAndBytes) {
+  const LoopInfo li =
+      loop_info_of([](KernelBuilder& kb, ir::PtrHandle mem, Val i) {
+        Val a = kb.load(mem, i, 4);             // 16 bytes
+        Val s = kb.reduce_add(a * a);           // 4 fmul + 3 fadd
+        kb.store(mem, i + std::int64_t(512), s);  // 4 bytes
+      });
+  EXPECT_EQ(li.ext_loads, 1);
+  EXPECT_EQ(li.ext_stores, 1);
+  EXPECT_EQ(li.ext_bytes_read, 16);
+  EXPECT_EQ(li.ext_bytes_written, 4);
+  EXPECT_EQ(li.fp_ops, 4 + 3);
+}
+
+TEST(Scheduler, ReorderingStagesCountVloStages) {
+  const LoopInfo li =
+      loop_info_of([](KernelBuilder& kb, ir::PtrHandle mem, Val i) {
+        Val a = kb.load(mem, i);
+        kb.store(mem, i + std::int64_t(64), a + 1.0);
+      });
+  EXPECT_GE(li.num_reordering_stages, 1);
+  EXPECT_GE(li.num_stages, li.num_reordering_stages);
+}
+
+TEST(Scheduler, MemoryOrderingRespectsStores) {
+  // load-after-store to the same pointer must be scheduled after it.
+  KernelBuilder kb("mo", 1);
+  auto mem = kb.ptr_arg("m", Type::f32(), MapDir::tofrom, 64);
+  kb.for_loop("L", kb.c32(0), kb.c32(8), kb.c32(1), [&](Val i) {
+    kb.store(mem, i, kb.cf32(1));
+    Val r = kb.load(mem, i);
+    (void)r;
+  });
+  Design d = compile(std::move(kb).finish());
+  // Find the load's start: it must come at/after store start + latency.
+  int store_start = -1, load_start = -1;
+  for (std::size_t v = 0; v < d.kernel.ops.size(); ++v) {
+    if (d.kernel.ops[v].opcode == Opcode::store_ext) {
+      store_start = d.op_start[v];
+    }
+    if (d.kernel.ops[v].opcode == Opcode::load_ext) load_start = d.op_start[v];
+  }
+  ASSERT_GE(store_start, 0);
+  ASSERT_GE(load_start, 0);
+  const ResourceLibrary lib;
+  EXPECT_GE(load_start, store_start + lib.ext_assumed_min);
+}
+
+// ---- compiler-level checks ------------------------------------------------------
+
+TEST(Compiler, StatsReflectKernel) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  Design d = compile(workloads::gemm_naive(cfg));
+  EXPECT_EQ(d.stats.num_threads, 8);
+  EXPECT_TRUE(d.stats.uses_critical);
+  EXPECT_EQ(d.stats.bus_ports, 2 * 8 + 1);  // rd+wr per thread + preloader
+  EXPECT_GT(d.stats.total_stages, 0);
+  EXPECT_GT(d.stats.mem_op_instances, 0);
+  EXPECT_EQ(d.stats.num_loops, 3);
+}
+
+TEST(Compiler, NoCriticalNoSemaphore) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  Design with = compile(workloads::gemm_naive(cfg));
+  Design without = compile(workloads::gemm_no_critical(cfg));
+  EXPECT_TRUE(with.stats.uses_critical);
+  EXPECT_FALSE(without.stats.uses_critical);
+}
+
+TEST(Compiler, AreaGrowsWithThreads) {
+  auto build = [](int threads) {
+    KernelBuilder kb("t", threads);
+    auto mem = kb.ptr_arg("m", Type::f32(), MapDir::tofrom, 256);
+    Val tid = kb.thread_id();
+    kb.for_loop("L", tid, kb.c32(256), kb.num_threads_val(), [&](Val i) {
+      kb.store(mem, i, kb.load(mem, i) + 1.0);
+    });
+    return compile(std::move(kb).finish());
+  };
+  EXPECT_GT(build(8).area.ff, build(2).area.ff);
+  EXPECT_GT(build(8).area.alm, build(2).area.alm);
+}
+
+TEST(Compiler, ConcurrentRequiresIndependenceAssertion) {
+  KernelBuilder kb("c", 1);
+  kb.concurrent({[&] { kb.c32(1); }, [&] { kb.c32(2); }},
+                /*user_asserted_independent=*/false);
+  EXPECT_THROW(compile(std::move(kb).finish()), Error);
+}
+
+TEST(Compiler, ConcurrentRejectsTwoExternalBranches) {
+  KernelBuilder kb("c", 1);
+  auto mem = kb.ptr_arg("m", Type::f32(), MapDir::tofrom, 64);
+  Val z = kb.c32(0);
+  kb.concurrent({[&] { kb.store(mem, z, kb.cf32(1)); },
+                 [&] { kb.store(mem, z + std::int64_t(1), kb.cf32(2)); }},
+                true);
+  EXPECT_THROW(compile(std::move(kb).finish()), Error);
+}
+
+TEST(Compiler, ConcurrentOneExternalBranchAccepted) {
+  KernelBuilder kb("c", 1);
+  auto mem = kb.ptr_arg("m", Type::f32(), MapDir::tofrom, 64);
+  auto buf = kb.local_array("b", ir::Scalar::f32, 16);
+  Val z = kb.c32(0);
+  kb.concurrent(
+      {[&] { kb.store(mem, z, kb.cf32(1)); },
+       [&] { kb.store_local(buf, z, kb.cf32(2)); }},
+      true);
+  EXPECT_NO_THROW(compile(std::move(kb).finish()));
+}
+
+TEST(Compiler, ThreadReorderingAddsContextArea) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  HlsOptions on;
+  on.thread_reordering = true;
+  HlsOptions off;
+  off.thread_reordering = false;
+  Design d_on = compile(workloads::gemm_vectorized(cfg), on);
+  Design d_off = compile(workloads::gemm_vectorized(cfg), off);
+  EXPECT_GT(d_on.area.bram_bits, d_off.area.bram_bits);
+  EXPECT_GT(d_on.area.alm, d_off.area.alm);
+}
+
+TEST(Compiler, PreloaderToggleChangesAreaAndPorts) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  HlsOptions with;
+  with.enable_preloader = true;
+  HlsOptions without;
+  without.enable_preloader = false;
+  Design a = compile(workloads::gemm_no_critical(cfg), with);
+  Design b = compile(workloads::gemm_no_critical(cfg), without);
+  EXPECT_GT(a.area.alm, b.area.alm);
+  EXPECT_EQ(a.stats.bus_ports, b.stats.bus_ports + 1);
+}
+
+TEST(Compiler, FmaxWithinPhysicalBounds) {
+  for (const auto& v : workloads::gemm_versions()) {
+    workloads::GemmConfig cfg;
+    cfg.dim = 32;
+    Design d = compile(v.build(cfg));
+    EXPECT_GT(d.fmax_mhz, 60.0) << v.name;
+    EXPECT_LT(d.fmax_mhz, 400.0) << v.name;
+  }
+}
+
+TEST(Compiler, LoopAccessorBoundsChecked) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  Design d = compile(workloads::gemm_naive(cfg));
+  EXPECT_THROW(d.loop(99), Error);
+  EXPECT_THROW(d.loop(-1), Error);
+}
+
+// ---- parameterized: all paper workloads compile ---------------------------------
+
+class CompileAllTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompileAllTest, GemmVersionCompilesWithSaneStats) {
+  const auto& v = workloads::gemm_versions()[GetParam()];
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  Design d = compile(v.build(cfg));
+  EXPECT_GT(d.area.alm, 0);
+  EXPECT_GT(d.area.ff, 0);
+  EXPECT_GT(d.stats.total_stages, 0);
+  EXPECT_EQ(d.op_latency.size(), d.kernel.ops.size());
+  EXPECT_EQ(d.op_start.size(), d.kernel.ops.size());
+  EXPECT_EQ(d.loops.size(), std::size_t(d.kernel.num_loops));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGemmVersions, CompileAllTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(Compiler, PiKernelHasFaddRecurrence) {
+  workloads::PiConfig cfg;
+  Design d = compile(workloads::pi_series(cfg));
+  const ResourceLibrary lib;
+  EXPECT_EQ(d.loop(0).rec_ii, lib.lat_fadd);
+  EXPECT_TRUE(d.loop(0).pipelined);
+  EXPECT_EQ(d.loop(0).ext_loads, 0);  // compute-only main loop
+  EXPECT_GT(d.loop(0).fp_ops, 0);
+}
+
+}  // namespace
+}  // namespace hlsprof::hls

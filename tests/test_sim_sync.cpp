@@ -1,0 +1,109 @@
+// Tests for the hardware semaphore and the thread barrier.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/sync.hpp"
+
+namespace hlsprof::sim {
+namespace {
+
+SemaphoreParams sp() { return SemaphoreParams{}; }
+
+TEST(Semaphore, UncontendedAcquireGrantsAfterLatency) {
+  Semaphore sem(1, sp());
+  const auto grant = sem.acquire(0, 3, 100);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(*grant, 100 + sp().acquire_latency);
+  EXPECT_EQ(sem.waiting(), 0u);
+}
+
+TEST(Semaphore, ContendedAcquireQueues) {
+  Semaphore sem(1, sp());
+  (void)sem.acquire(0, 0, 0);
+  const auto grant = sem.acquire(0, 1, 5);
+  EXPECT_FALSE(grant.has_value());
+  EXPECT_EQ(sem.waiting(), 1u);
+}
+
+TEST(Semaphore, ReleaseHandsOffInFifoOrder) {
+  Semaphore sem(1, sp());
+  (void)sem.acquire(0, 0, 0);
+  (void)sem.acquire(0, 1, 5);
+  (void)sem.acquire(0, 2, 6);
+  auto r1 = sem.release(0, 0, 50);
+  ASSERT_TRUE(r1.granted.has_value());
+  EXPECT_EQ(r1.granted->first, 1u);
+  EXPECT_EQ(r1.granted->second, 50 + sp().handoff_latency);
+  EXPECT_EQ(r1.release_done, 50 + sp().release_latency);
+  auto r2 = sem.release(0, 1, 80);
+  ASSERT_TRUE(r2.granted.has_value());
+  EXPECT_EQ(r2.granted->first, 2u);
+  auto r3 = sem.release(0, 2, 99);
+  EXPECT_FALSE(r3.granted.has_value());
+  EXPECT_EQ(sem.waiting(), 0u);
+}
+
+TEST(Semaphore, LocksAreIndependent) {
+  Semaphore sem(2, sp());
+  ASSERT_TRUE(sem.acquire(0, 0, 0).has_value());
+  ASSERT_TRUE(sem.acquire(1, 1, 0).has_value());  // different lock: free
+}
+
+TEST(Semaphore, RecursiveAcquireRejected) {
+  Semaphore sem(1, sp());
+  (void)sem.acquire(0, 0, 0);
+  EXPECT_THROW(sem.acquire(0, 0, 1), Error);
+}
+
+TEST(Semaphore, ReleaseWithoutHoldRejected) {
+  Semaphore sem(1, sp());
+  EXPECT_THROW(sem.release(0, 0, 0), Error);
+  (void)sem.acquire(0, 0, 0);
+  EXPECT_THROW(sem.release(0, 1, 5), Error);  // wrong thread
+}
+
+TEST(Semaphore, LockIdRangeChecked) {
+  Semaphore sem(1, sp());
+  EXPECT_THROW(sem.acquire(1, 0, 0), Error);
+  EXPECT_THROW(sem.acquire(-1, 0, 0), Error);
+  EXPECT_THROW(Semaphore(0, sp()), Error);
+}
+
+TEST(Barrier, LastArrivalReleasesAll) {
+  Barrier bar(3, 6);
+  EXPECT_FALSE(bar.arrive(0, 10).has_value());
+  EXPECT_FALSE(bar.arrive(1, 20).has_value());
+  EXPECT_EQ(bar.parked(), 2u);
+  const auto done = bar.arrive(2, 15);
+  ASSERT_TRUE(done.has_value());
+  // Release at the *latest* arrival plus latency.
+  EXPECT_EQ(done->first, 20u + 6u);
+  EXPECT_EQ(done->second.size(), 3u);
+  EXPECT_EQ(bar.parked(), 0u);
+}
+
+TEST(Barrier, ReusableAfterRelease) {
+  Barrier bar(2, 1);
+  (void)bar.arrive(0, 0);
+  ASSERT_TRUE(bar.arrive(1, 5).has_value());
+  EXPECT_FALSE(bar.arrive(0, 10).has_value());
+  const auto done = bar.arrive(1, 12);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->first, 13u);
+}
+
+TEST(Barrier, DoubleArrivalRejected) {
+  Barrier bar(3, 1);
+  (void)bar.arrive(0, 0);
+  EXPECT_THROW(bar.arrive(0, 1), Error);
+}
+
+TEST(Barrier, SingleThreadPassesImmediately) {
+  Barrier bar(1, 2);
+  const auto done = bar.arrive(0, 7);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->first, 9u);
+}
+
+}  // namespace
+}  // namespace hlsprof::sim

@@ -1,0 +1,137 @@
+// Tests for the Verilog emitter: the generated RTL skeleton must reflect
+// the design (ports per thread, semaphore, profiling unit, operator
+// instances, loop annotations).
+#include <gtest/gtest.h>
+
+#include "hls/compiler.hpp"
+#include "hls/verilog.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/simple.hpp"
+
+namespace hlsprof::hls {
+namespace {
+
+Design small_gemm() {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  return compile(workloads::gemm_naive(cfg));
+}
+
+TEST(Verilog, ModuleSkeleton) {
+  const std::string v = emit_verilog(small_gemm());
+  EXPECT_NE(v.find("module gemm_v1_naive_top ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input  wire         clk"), std::string::npos);
+}
+
+TEST(Verilog, AvalonMastersPerThread) {
+  const std::string v = emit_verilog(small_gemm());
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_NE(v.find("avm_rd" + std::to_string(t) + "_address"),
+              std::string::npos)
+        << t;
+    EXPECT_NE(v.find("avm_wr" + std::to_string(t) + "_writedata"),
+              std::string::npos)
+        << t;
+  }
+  EXPECT_EQ(v.find("avm_rd8_address"), std::string::npos);
+}
+
+TEST(Verilog, SemaphoreOnlyWithCritical) {
+  const std::string with = emit_verilog(small_gemm());
+  EXPECT_NE(with.find("hw_semaphore"), std::string::npos);
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  const std::string without =
+      emit_verilog(compile(workloads::gemm_no_critical(cfg)));
+  EXPECT_EQ(without.find("hw_semaphore"), std::string::npos);
+}
+
+TEST(Verilog, ProfilingUnitOptIn) {
+  const Design d = small_gemm();
+  const std::string off = emit_verilog(d);
+  EXPECT_EQ(off.find("profiling_unit"), std::string::npos);
+  VerilogOptions opts;
+  opts.include_profiling_unit = true;
+  const std::string on = emit_verilog(d, opts);
+  EXPECT_NE(on.find("profiling_unit"), std::string::npos);
+  EXPECT_NE(on.find("avm_prof_writedata"), std::string::npos);
+  // State record width parameter: 2*8 threads + 32 bits = 48.
+  EXPECT_NE(on.find(".STATE_RECORD_W(48)"), std::string::npos);
+}
+
+TEST(Verilog, OperatorInstancesAndStages) {
+  const std::string v = emit_verilog(small_gemm());
+  EXPECT_NE(v.find("fp_addsub"), std::string::npos);
+  EXPECT_NE(v.find("fp_mul"), std::string::npos);
+  EXPECT_NE(v.find("avalon_load_unit"), std::string::npos);
+  EXPECT_NE(v.find("avalon_store_unit"), std::string::npos);
+  EXPECT_NE(v.find("// stage"), std::string::npos);
+}
+
+TEST(Verilog, LoopAnnotationsCarrySchedule) {
+  const std::string v = emit_verilog(small_gemm());
+  EXPECT_NE(v.find("// loop 'k': pipelined II="), std::string::npos);
+  EXPECT_NE(v.find("// loop 'i': sequential"), std::string::npos);
+}
+
+TEST(Verilog, LocalMemoriesDeclared) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  const std::string v = emit_verilog(compile(workloads::gemm_blocked(cfg)));
+  EXPECT_NE(v.find("lmem_A_local"), std::string::npos);
+  EXPECT_NE(v.find("ramstyle"), std::string::npos);
+}
+
+TEST(Verilog, ControllerReflectsReorderingOption) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 32;
+  HlsOptions on;
+  on.thread_reordering = true;
+  HlsOptions off;
+  off.thread_reordering = false;
+  const std::string v_on =
+      emit_verilog(compile(workloads::gemm_naive(cfg), on));
+  const std::string v_off =
+      emit_verilog(compile(workloads::gemm_naive(cfg), off));
+  EXPECT_NE(v_on.find(".THREAD_REORDERING(1)"), std::string::npos);
+  EXPECT_NE(v_off.find(".THREAD_REORDERING(0)"), std::string::npos);
+}
+
+TEST(Verilog, PrimitiveModulesOptIn) {
+  const Design d = small_gemm();
+  VerilogOptions opts;
+  opts.include_primitives = true;
+  opts.include_profiling_unit = true;
+  const std::string v = emit_verilog(d, opts);
+  EXPECT_NE(v.find("module nymble_stage_controller #("), std::string::npos);
+  EXPECT_NE(v.find("module hw_semaphore #("), std::string::npos);
+  EXPECT_NE(v.find("module profiling_unit #("), std::string::npos);
+  EXPECT_NE(v.find("stage_enable"), std::string::npos);
+  // Balanced module/endmodule pairs.
+  std::size_t modules = 0;
+  std::size_t ends = 0;
+  for (std::size_t p = v.find("module "); p != std::string::npos;
+       p = v.find("module ", p + 1)) {
+    if (p == 0 || v[p - 1] == '\n') ++modules;
+  }
+  for (std::size_t p = v.find("endmodule"); p != std::string::npos;
+       p = v.find("endmodule", p + 1)) {
+    ++ends;
+  }
+  EXPECT_EQ(modules, ends);
+}
+
+TEST(Verilog, PrimitivesOffByDefault) {
+  const std::string v = emit_verilog(small_gemm());
+  EXPECT_EQ(v.find("module nymble_stage_controller"), std::string::npos);
+}
+
+TEST(Verilog, BarrierKernelEmits) {
+  const std::string v =
+      emit_verilog(compile(workloads::barrier_phases(64, 4)));
+  EXPECT_NE(v.find("module barrier_phases_top"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsprof::hls

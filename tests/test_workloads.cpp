@@ -1,0 +1,190 @@
+// Functional-correctness tests of the paper's workloads: all five GEMM
+// versions against a double-precision reference (parameterized over
+// version, dimension, and thread count), the pi series against its
+// reference, and the host-side helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "core/hlsprof.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/pi.hpp"
+#include "workloads/reference.hpp"
+
+namespace hlsprof::workloads {
+namespace {
+
+core::RunOptions fast_opts() {
+  core::RunOptions o;
+  o.sim.host.thread_start_interval = 300;
+  o.enable_profiling = false;
+  return o;
+}
+
+// ---- GEMM: all versions x dims x threads ----------------------------------
+
+using GemmParam = std::tuple<std::size_t /*version*/, int /*dim*/,
+                             int /*threads*/>;
+
+class GemmCorrectness : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmCorrectness, MatchesReference) {
+  const auto [version_idx, dim, threads] = GetParam();
+  GemmConfig cfg;
+  cfg.dim = dim;
+  cfg.threads = threads;
+  const auto& version = gemm_versions()[version_idx];
+  hls::Design d = hls::compile(version.build(cfg));
+  core::Session s(d, fast_opts());
+  auto a = random_matrix(dim, 100 + version_idx);
+  auto b = random_matrix(dim, 200 + version_idx);
+  std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
+  s.sim().bind_f32("A", a);
+  s.sim().bind_f32("B", b);
+  s.sim().bind_f32("C", c);
+  s.run();
+  const auto ref = gemm_reference(a, b, dim);
+  EXPECT_LT(max_rel_error(c, ref), 1e-3) << version.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VersionsDimsThreads, GemmCorrectness,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 3u, 4u),
+                       ::testing::Values(16, 32),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto& info) {
+      return "v" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Gemm, ConfigValidation) {
+  GemmConfig bad;
+  bad.dim = 30;  // not a multiple of threads
+  bad.threads = 8;
+  EXPECT_THROW(gemm_naive(bad), Error);
+  GemmConfig bad_block;
+  bad_block.dim = 32;
+  bad_block.block = 6;  // not a multiple of vector_len
+  EXPECT_THROW(gemm_blocked(bad_block), Error);
+}
+
+TEST(Gemm, VersionTableHasFivePaperVersions) {
+  const auto& vs = gemm_versions();
+  ASSERT_EQ(vs.size(), 5u);
+  EXPECT_EQ(vs[0].name, "Naive");
+  EXPECT_EQ(vs[4].name, "Double Buffering");
+}
+
+TEST(Gemm, BlockedMovesLessExternalData) {
+  GemmConfig cfg;
+  cfg.dim = 64;
+  auto run_loads = [&](const GemmVersion& v) {
+    hls::Design d = hls::compile(v.build(cfg));
+    core::Session s(d, fast_opts());
+    auto a = random_matrix(cfg.dim, 1);
+    auto b = random_matrix(cfg.dim, 2);
+    std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+    s.sim().bind_f32("A", a);
+    s.sim().bind_f32("B", b);
+    s.sim().bind_f32("C", c);
+    return s.run().sim.dram_bytes_read;
+  };
+  EXPECT_LT(run_loads(gemm_versions()[3]), run_loads(gemm_versions()[0]) / 4);
+}
+
+// ---- pi ---------------------------------------------------------------------
+
+class PiCorrectness : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PiCorrectness, ApproximatesPi) {
+  const std::int64_t steps = GetParam();
+  PiConfig cfg;
+  cfg.steps = steps;
+  hls::Design d = hls::compile(pi_series(cfg));
+  core::Session s(d, fast_opts());
+  std::vector<float> out(1, 0.0f);
+  s.sim().bind_f32("out", out);
+  s.sim().set_arg("steps", steps);
+  s.sim().set_arg("inv_steps", 1.0 / double(steps));
+  s.run();
+  const double pi = double(out[0]) / double(steps);
+  EXPECT_NEAR(pi, 3.14159265358979, 1e-3) << steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(StepCounts, PiCorrectness,
+                         ::testing::Values(1024, 4096, 10000, 100000));
+
+TEST(Pi, RemainderLoopHandlesNonMultipleOfUnroll) {
+  // 10000 steps / 8 threads = 1250 per thread; 1250 % 16 != 0, so the
+  // remainder loop must execute. Compare against the exact f64 series.
+  PiConfig cfg;
+  cfg.steps = 10000;
+  hls::Design d = hls::compile(pi_series(cfg));
+  core::Session s(d, fast_opts());
+  std::vector<float> out(1, 0.0f);
+  s.sim().bind_f32("out", out);
+  s.sim().set_arg("steps", std::int64_t(10000));
+  s.sim().set_arg("inv_steps", 1.0 / 10000.0);
+  s.run();
+  const double pi = double(out[0]) / 10000.0;
+  EXPECT_NEAR(pi, pi_reference(10000), 5e-5);
+}
+
+TEST(Pi, ConfigValidation) {
+  PiConfig bad;
+  bad.steps = 1001;
+  bad.threads = 8;  // not divisible
+  EXPECT_THROW(pi_series(bad), Error);
+  PiConfig bad_unroll;
+  bad_unroll.unroll = 32;  // exceeds max lanes
+  EXPECT_THROW(pi_series(bad_unroll), Error);
+}
+
+TEST(Pi, ReferenceConverges) {
+  EXPECT_NEAR(pi_reference(100000), 3.14159265358979, 1e-8);
+}
+
+TEST(Pi, PeakGflopsFormula) {
+  PiConfig cfg;
+  cfg.unroll = 16;
+  cfg.threads = 8;
+  // 16 lanes * 6 flops / 3 cycles * 8 threads = 256 flops/cycle;
+  // at 140 MHz -> 35.84 GFLOP/s.
+  EXPECT_NEAR(pi_peak_gflops(cfg, 3, 6, 140.0), 35.84, 1e-6);
+  EXPECT_THROW(pi_peak_gflops(cfg, 0, 6, 140.0), Error);
+}
+
+// ---- host-side helpers -----------------------------------------------------------
+
+TEST(Reference, GemmReferenceIdentity) {
+  // A * I = A.
+  const int n = 8;
+  std::vector<float> a = random_matrix(n, 9);
+  std::vector<float> eye(std::size_t(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) eye[std::size_t(i * n + i)] = 1.0f;
+  const auto c = gemm_reference(a, eye, n);
+  EXPECT_LT(max_rel_error(c, a), 1e-6);
+}
+
+TEST(Reference, RandomVectorDeterministicAndBounded) {
+  const auto v1 = random_vector(100, 42, -2.0f, 2.0f);
+  const auto v2 = random_vector(100, 42, -2.0f, 2.0f);
+  EXPECT_EQ(v1, v2);
+  for (float x : v1) {
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LT(x, 2.0f);
+  }
+}
+
+TEST(Reference, MaxRelErrorDetectsDifference) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{1.0f, 2.2f};
+  EXPECT_NEAR(max_rel_error(a, b), 0.2 / 2.2, 1e-6);
+  EXPECT_THROW(max_rel_error(a, {1.0f}), Error);
+}
+
+}  // namespace
+}  // namespace hlsprof::workloads
