@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracer.dir/bench_tracer.cpp.o"
+  "CMakeFiles/bench_tracer.dir/bench_tracer.cpp.o.d"
+  "bench_tracer"
+  "bench_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_case_study.dir/gemm_case_study.cpp.o"
+  "CMakeFiles/gemm_case_study.dir/gemm_case_study.cpp.o.d"
+  "gemm_case_study"
+  "gemm_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

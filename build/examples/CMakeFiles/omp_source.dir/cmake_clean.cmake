@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_source.dir/omp_source.cpp.o"
+  "CMakeFiles/omp_source.dir/omp_source.cpp.o.d"
+  "omp_source"
+  "omp_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_case_study.dir/pi_case_study.cpp.o"
+  "CMakeFiles/pi_case_study.dir/pi_case_study.cpp.o.d"
+  "pi_case_study"
+  "pi_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_case_study.dir/stencil_case_study.cpp.o"
+  "CMakeFiles/stencil_case_study.dir/stencil_case_study.cpp.o.d"
+  "stencil_case_study"
+  "stencil_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_inspect.cpp" "examples/CMakeFiles/trace_inspect.dir/trace_inspect.cpp.o" "gcc" "examples/CMakeFiles/trace_inspect.dir/trace_inspect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/hlsprof_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/hlsprof_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/hlsprof_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/paraver/CMakeFiles/hlsprof_paraver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hlsprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hlsprof_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hlsprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "/root/repo/build/examples")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gemm_case_study "/root/repo/build/examples/gemm_case_study" "64" "/root/repo/build/examples")
+set_tests_properties(example_gemm_case_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pi_case_study "/root/repo/build/examples/pi_case_study" "/root/repo/build/examples")
+set_tests_properties(example_pi_case_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stencil_case_study "/root/repo/build/examples/stencil_case_study" "64" "4" "/root/repo/build/examples")
+set_tests_properties(example_stencil_case_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_omp_source "/root/repo/build/examples/omp_source" "/root/repo/examples/kernels/matmul.c" "32" "/root/repo/build/examples")
+set_tests_properties(example_omp_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_inspect_usage "/root/repo/build/examples/trace_inspect")
+set_tests_properties(example_trace_inspect_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

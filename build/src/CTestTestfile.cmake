@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ir")
+subdirs("frontend")
+subdirs("hls")
+subdirs("sim")
+subdirs("profiling")
+subdirs("trace")
+subdirs("paraver")
+subdirs("advisor")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_advisor.dir/advisor.cpp.o"
+  "CMakeFiles/hlsprof_advisor.dir/advisor.cpp.o.d"
+  "libhlsprof_advisor.a"
+  "libhlsprof_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_common.dir/binned_series.cpp.o"
+  "CMakeFiles/hlsprof_common.dir/binned_series.cpp.o.d"
+  "CMakeFiles/hlsprof_common.dir/stats.cpp.o"
+  "CMakeFiles/hlsprof_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hlsprof_common.dir/strings.cpp.o"
+  "CMakeFiles/hlsprof_common.dir/strings.cpp.o.d"
+  "libhlsprof_common.a"
+  "libhlsprof_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

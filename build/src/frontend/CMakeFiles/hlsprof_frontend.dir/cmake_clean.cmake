@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/hlsprof_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/hlsprof_frontend.dir/lower.cpp.o"
+  "CMakeFiles/hlsprof_frontend.dir/lower.cpp.o.d"
+  "CMakeFiles/hlsprof_frontend.dir/parser.cpp.o"
+  "CMakeFiles/hlsprof_frontend.dir/parser.cpp.o.d"
+  "libhlsprof_frontend.a"
+  "libhlsprof_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

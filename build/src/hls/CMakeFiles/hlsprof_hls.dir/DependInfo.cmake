@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/compiler.cpp" "src/hls/CMakeFiles/hlsprof_hls.dir/compiler.cpp.o" "gcc" "src/hls/CMakeFiles/hlsprof_hls.dir/compiler.cpp.o.d"
+  "/root/repo/src/hls/report.cpp" "src/hls/CMakeFiles/hlsprof_hls.dir/report.cpp.o" "gcc" "src/hls/CMakeFiles/hlsprof_hls.dir/report.cpp.o.d"
+  "/root/repo/src/hls/resources.cpp" "src/hls/CMakeFiles/hlsprof_hls.dir/resources.cpp.o" "gcc" "src/hls/CMakeFiles/hlsprof_hls.dir/resources.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "src/hls/CMakeFiles/hlsprof_hls.dir/scheduler.cpp.o" "gcc" "src/hls/CMakeFiles/hlsprof_hls.dir/scheduler.cpp.o.d"
+  "/root/repo/src/hls/verilog.cpp" "src/hls/CMakeFiles/hlsprof_hls.dir/verilog.cpp.o" "gcc" "src/hls/CMakeFiles/hlsprof_hls.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

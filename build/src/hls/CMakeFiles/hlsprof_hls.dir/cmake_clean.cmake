@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_hls.dir/compiler.cpp.o"
+  "CMakeFiles/hlsprof_hls.dir/compiler.cpp.o.d"
+  "CMakeFiles/hlsprof_hls.dir/report.cpp.o"
+  "CMakeFiles/hlsprof_hls.dir/report.cpp.o.d"
+  "CMakeFiles/hlsprof_hls.dir/resources.cpp.o"
+  "CMakeFiles/hlsprof_hls.dir/resources.cpp.o.d"
+  "CMakeFiles/hlsprof_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/hlsprof_hls.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hlsprof_hls.dir/verilog.cpp.o"
+  "CMakeFiles/hlsprof_hls.dir/verilog.cpp.o.d"
+  "libhlsprof_hls.a"
+  "libhlsprof_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

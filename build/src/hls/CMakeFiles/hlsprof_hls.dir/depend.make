@@ -1,0 +1,2 @@
+# Empty dependencies file for hlsprof_hls.
+# This may be replaced when dependencies are built.

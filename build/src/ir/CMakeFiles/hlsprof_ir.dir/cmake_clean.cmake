@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_ir.dir/builder.cpp.o"
+  "CMakeFiles/hlsprof_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/hlsprof_ir.dir/kernel.cpp.o"
+  "CMakeFiles/hlsprof_ir.dir/kernel.cpp.o.d"
+  "CMakeFiles/hlsprof_ir.dir/op.cpp.o"
+  "CMakeFiles/hlsprof_ir.dir/op.cpp.o.d"
+  "CMakeFiles/hlsprof_ir.dir/printer.cpp.o"
+  "CMakeFiles/hlsprof_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/hlsprof_ir.dir/verifier.cpp.o"
+  "CMakeFiles/hlsprof_ir.dir/verifier.cpp.o.d"
+  "libhlsprof_ir.a"
+  "libhlsprof_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

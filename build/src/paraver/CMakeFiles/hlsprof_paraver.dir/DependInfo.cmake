@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paraver/analysis.cpp" "src/paraver/CMakeFiles/hlsprof_paraver.dir/analysis.cpp.o" "gcc" "src/paraver/CMakeFiles/hlsprof_paraver.dir/analysis.cpp.o.d"
+  "/root/repo/src/paraver/ascii.cpp" "src/paraver/CMakeFiles/hlsprof_paraver.dir/ascii.cpp.o" "gcc" "src/paraver/CMakeFiles/hlsprof_paraver.dir/ascii.cpp.o.d"
+  "/root/repo/src/paraver/reader.cpp" "src/paraver/CMakeFiles/hlsprof_paraver.dir/reader.cpp.o" "gcc" "src/paraver/CMakeFiles/hlsprof_paraver.dir/reader.cpp.o.d"
+  "/root/repo/src/paraver/writer.cpp" "src/paraver/CMakeFiles/hlsprof_paraver.dir/writer.cpp.o" "gcc" "src/paraver/CMakeFiles/hlsprof_paraver.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/hlsprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hlsprof_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_paraver.dir/analysis.cpp.o"
+  "CMakeFiles/hlsprof_paraver.dir/analysis.cpp.o.d"
+  "CMakeFiles/hlsprof_paraver.dir/ascii.cpp.o"
+  "CMakeFiles/hlsprof_paraver.dir/ascii.cpp.o.d"
+  "CMakeFiles/hlsprof_paraver.dir/reader.cpp.o"
+  "CMakeFiles/hlsprof_paraver.dir/reader.cpp.o.d"
+  "CMakeFiles/hlsprof_paraver.dir/writer.cpp.o"
+  "CMakeFiles/hlsprof_paraver.dir/writer.cpp.o.d"
+  "libhlsprof_paraver.a"
+  "libhlsprof_paraver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_paraver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

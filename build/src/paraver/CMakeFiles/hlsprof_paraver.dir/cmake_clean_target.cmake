@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhlsprof_paraver.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_profiling.dir/overhead.cpp.o"
+  "CMakeFiles/hlsprof_profiling.dir/overhead.cpp.o.d"
+  "CMakeFiles/hlsprof_profiling.dir/unit.cpp.o"
+  "CMakeFiles/hlsprof_profiling.dir/unit.cpp.o.d"
+  "libhlsprof_profiling.a"
+  "libhlsprof_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

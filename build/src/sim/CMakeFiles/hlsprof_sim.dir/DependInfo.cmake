@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/hlsprof_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/hlsprof_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/hlsprof_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/hlsprof_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/hlsprof_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hlsprof_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/sim/CMakeFiles/hlsprof_sim.dir/sync.cpp.o" "gcc" "src/sim/CMakeFiles/hlsprof_sim.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/hlsprof_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

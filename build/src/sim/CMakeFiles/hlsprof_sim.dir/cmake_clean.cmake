@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/hlsprof_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/hlsprof_sim.dir/memory.cpp.o"
+  "CMakeFiles/hlsprof_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/hlsprof_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hlsprof_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hlsprof_sim.dir/sync.cpp.o"
+  "CMakeFiles/hlsprof_sim.dir/sync.cpp.o.d"
+  "libhlsprof_sim.a"
+  "libhlsprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/records.cpp" "src/trace/CMakeFiles/hlsprof_trace.dir/records.cpp.o" "gcc" "src/trace/CMakeFiles/hlsprof_trace.dir/records.cpp.o.d"
+  "/root/repo/src/trace/timed_trace.cpp" "src/trace/CMakeFiles/hlsprof_trace.dir/timed_trace.cpp.o" "gcc" "src/trace/CMakeFiles/hlsprof_trace.dir/timed_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hlsprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hlsprof_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

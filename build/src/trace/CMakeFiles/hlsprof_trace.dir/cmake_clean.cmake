@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_trace.dir/records.cpp.o"
+  "CMakeFiles/hlsprof_trace.dir/records.cpp.o.d"
+  "CMakeFiles/hlsprof_trace.dir/timed_trace.cpp.o"
+  "CMakeFiles/hlsprof_trace.dir/timed_trace.cpp.o.d"
+  "libhlsprof_trace.a"
+  "libhlsprof_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gemm.cpp" "src/workloads/CMakeFiles/hlsprof_workloads.dir/gemm.cpp.o" "gcc" "src/workloads/CMakeFiles/hlsprof_workloads.dir/gemm.cpp.o.d"
+  "/root/repo/src/workloads/pi.cpp" "src/workloads/CMakeFiles/hlsprof_workloads.dir/pi.cpp.o" "gcc" "src/workloads/CMakeFiles/hlsprof_workloads.dir/pi.cpp.o.d"
+  "/root/repo/src/workloads/reference.cpp" "src/workloads/CMakeFiles/hlsprof_workloads.dir/reference.cpp.o" "gcc" "src/workloads/CMakeFiles/hlsprof_workloads.dir/reference.cpp.o.d"
+  "/root/repo/src/workloads/simple.cpp" "src/workloads/CMakeFiles/hlsprof_workloads.dir/simple.cpp.o" "gcc" "src/workloads/CMakeFiles/hlsprof_workloads.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsprof_workloads.dir/gemm.cpp.o"
+  "CMakeFiles/hlsprof_workloads.dir/gemm.cpp.o.d"
+  "CMakeFiles/hlsprof_workloads.dir/pi.cpp.o"
+  "CMakeFiles/hlsprof_workloads.dir/pi.cpp.o.d"
+  "CMakeFiles/hlsprof_workloads.dir/reference.cpp.o"
+  "CMakeFiles/hlsprof_workloads.dir/reference.cpp.o.d"
+  "CMakeFiles/hlsprof_workloads.dir/simple.cpp.o"
+  "CMakeFiles/hlsprof_workloads.dir/simple.cpp.o.d"
+  "libhlsprof_workloads.a"
+  "libhlsprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

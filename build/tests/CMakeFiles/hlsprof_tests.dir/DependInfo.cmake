@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_advisor.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_advisor.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_advisor.cpp.o.d"
+  "/root/repo/tests/test_comm_records.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_comm_records.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_comm_records.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_hls.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_hls.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_hls.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_ir_verifier.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_ir_verifier.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_ir_verifier.cpp.o.d"
+  "/root/repo/tests/test_paraver.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_paraver.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_paraver.cpp.o.d"
+  "/root/repo/tests/test_preloader.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_preloader.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_preloader.cpp.o.d"
+  "/root/repo/tests/test_profiling.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_profiling.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_profiling.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report_histogram.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_report_histogram.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_report_histogram.cpp.o.d"
+  "/root/repo/tests/test_sim_interpreter.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_sim_interpreter.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_sim_interpreter.cpp.o.d"
+  "/root/repo/tests/test_sim_memory.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_sim_memory.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_sim_memory.cpp.o.d"
+  "/root/repo/tests/test_sim_sync.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_sim_sync.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_sim_sync.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_timed_trace.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_timed_trace.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_timed_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_records.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_trace_records.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_trace_records.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_verilog.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/hlsprof_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/hlsprof_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/hlsprof_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/hlsprof_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/hlsprof_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/paraver/CMakeFiles/hlsprof_paraver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hlsprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/hlsprof_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hlsprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlsprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
