@@ -9,13 +9,20 @@
 // A3 (§III-B): Nymble-MT's thread reordering lets fast threads overtake
 //     slow ones at variable-latency stages; with reordering disabled the
 //     accelerator degenerates to plain C-slow interleaving. Compare area.
+//
+// A1 and A2 run through runner::Batch with a shared design cache: every
+// sweep point re-runs the *same* design under different profiling
+// configurations, so the cache compiles each kernel once and every other
+// job is a hit — the counters printed below prove it.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/strings.hpp"
 #include "core/hlsprof.hpp"
+#include "runner/runner.hpp"
 #include "workloads/gemm.hpp"
 #include "workloads/reference.hpp"
 
@@ -23,66 +30,103 @@ using namespace hlsprof;
 
 namespace {
 
-core::RunResult run_gemm(const hls::Design& design, int dim,
-                         const core::RunOptions& opts) {
-  core::Session session(design, opts);
-  auto a = workloads::random_matrix(dim, 7);
-  auto b = workloads::random_matrix(dim, 8);
-  std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
-  session.sim().bind_f32("A", a);
-  session.sim().bind_f32("B", b);
-  session.sim().bind_f32("C", c);
-  return session.run();
-}
-
-void ablation_sampling_period(int dim) {
+runner::JobSpec gemm_job(const std::string& name,
+                         ir::Kernel (*build)(const workloads::GemmConfig&),
+                         int dim, const core::RunOptions& opts) {
   workloads::GemmConfig cfg;
   cfg.dim = dim;
-  hls::Design design = core::compile(workloads::gemm_vectorized(cfg));
+  runner::JobSpec spec;
+  spec.name = name;
+  spec.kernel = [cfg, build](SplitMix64&) { return build(cfg); };
+  spec.run = opts;
+  spec.bind = [dim](core::Session& s, runner::HostBuffers& bufs,
+                    SplitMix64&) {
+    auto& a = bufs.f32(workloads::random_matrix(dim, 7));
+    auto& b = bufs.f32(workloads::random_matrix(dim, 8));
+    auto& c = bufs.f32(std::size_t(dim) * std::size_t(dim));
+    s.sim().bind_f32("A", a);
+    s.sim().bind_f32("B", b);
+    s.sim().bind_f32("C", c);
+  };
+  return spec;
+}
 
-  core::RunOptions base;
-  base.enable_profiling = false;
-  const cycle_t clean = run_gemm(design, dim, base).sim.kernel_cycles;
+void ablation_sampling_period(int dim, int workers) {
+  const cycle_t periods[] = {512, 2048, 8192, 32768, 131072};
+
+  runner::Batch batch;
+  {
+    core::RunOptions clean;
+    clean.enable_profiling = false;
+    batch.add(gemm_job("unprofiled", &workloads::gemm_vectorized, dim,
+                       clean));
+  }
+  for (cycle_t period : periods) {
+    core::RunOptions opts;
+    opts.profiling.sampling_period = period;
+    batch.add(gemm_job("period." + std::to_string(period),
+                       &workloads::gemm_vectorized, dim, opts));
+  }
+
+  runner::BatchOptions bopts;
+  bopts.workers = workers;
+  const runner::BatchResult result = batch.run(bopts);
+  const cycle_t clean = result.jobs[0].kernel_cycles;
 
   std::printf("\n=== A1: sampling-period sweep (vectorized GEMM %dx%d; "
               "unprofiled run = %s cycles) ===\n",
               dim, dim, with_commas(clean).c_str());
   std::printf("%-10s %12s %14s %12s %14s\n", "period", "trace B",
               "event records", "flushes", "perturbation");
-  for (cycle_t period : {512u, 2048u, 8192u, 32768u, 131072u}) {
-    core::RunOptions opts;
-    opts.profiling.sampling_period = period;
-    core::RunResult r = run_gemm(design, dim, opts);
-    std::printf("%-10llu %12zu %14lld %12lld %13.3f%%\n",
-                (unsigned long long)period, r.trace_bytes, r.event_records,
+  for (std::size_t i = 1; i < result.jobs.size(); ++i) {
+    const runner::JobResult& r = result.jobs[i];
+    std::printf("%-10llu %12llu %14lld %12lld %13.3f%%\n",
+                (unsigned long long)periods[i - 1],
+                (unsigned long long)r.trace_bytes, r.event_records,
                 r.flush_bursts,
-                100.0 * (double(r.sim.kernel_cycles) - double(clean)) /
+                100.0 * (double(r.kernel_cycles) - double(clean)) /
                     double(clean));
   }
   std::printf("paper: the higher the period, the more data is produced "
               "(we report the full trade-off)\n");
+  std::printf("design cache: %lld hits / %lld misses — one compile served "
+              "all %zu runs\n",
+              result.cache_hits, result.cache_misses, result.jobs.size());
 }
 
-void ablation_buffer_depth(int dim) {
-  workloads::GemmConfig cfg;
-  cfg.dim = dim;
-  hls::Design design = core::compile(workloads::gemm_naive(cfg));
-  core::RunOptions base;
-  base.enable_profiling = false;
-  const cycle_t clean = run_gemm(design, dim, base).sim.kernel_cycles;
+void ablation_buffer_depth(int dim, int workers) {
+  const int depths[] = {8, 16, 64, 256, 1024};
+
+  runner::Batch batch;
+  {
+    core::RunOptions clean;
+    clean.enable_profiling = false;
+    batch.add(gemm_job("unprofiled", &workloads::gemm_naive, dim, clean));
+  }
+  for (int lines : depths) {
+    core::RunOptions opts;
+    opts.profiling.buffer_lines = lines;
+    batch.add(gemm_job("buffer." + std::to_string(lines),
+                       &workloads::gemm_naive, dim, opts));
+  }
+
+  runner::BatchOptions bopts;
+  bopts.workers = workers;
+  const runner::BatchResult result = batch.run(bopts);
+  const cycle_t clean = result.jobs[0].kernel_cycles;
 
   std::printf("\n=== A2: trace-buffer depth sweep (naive GEMM %dx%d) ===\n",
               dim, dim);
   std::printf("%-14s %12s %14s\n", "buffer lines", "flushes",
               "perturbation");
-  for (int lines : {8, 16, 64, 256, 1024}) {
-    core::RunOptions opts;
-    opts.profiling.buffer_lines = lines;
-    core::RunResult r = run_gemm(design, dim, opts);
-    std::printf("%-14d %12lld %13.3f%%\n", lines, r.flush_bursts,
-                100.0 * (double(r.sim.kernel_cycles) - double(clean)) /
+  for (std::size_t i = 1; i < result.jobs.size(); ++i) {
+    const runner::JobResult& r = result.jobs[i];
+    std::printf("%-14d %12lld %13.3f%%\n", depths[i - 1], r.flush_bursts,
+                100.0 * (double(r.kernel_cycles) - double(clean)) /
                     double(clean));
   }
+  std::printf("design cache: %lld hits / %lld misses\n", result.cache_hits,
+              result.cache_misses);
 }
 
 void ablation_thread_reordering() {
@@ -94,12 +138,20 @@ void ablation_thread_reordering() {
     cfg.dim = 64;
     hls::HlsOptions hopts;
     hopts.thread_reordering = reorder;
-    hls::Design d = hls::compile(workloads::gemm_vectorized(cfg), hopts);
+    auto d = std::make_shared<const hls::Design>(
+        hls::compile(workloads::gemm_vectorized(cfg), hopts));
     core::RunOptions ropts;
     ropts.enable_profiling = false;
-    const auto r = run_gemm(d, cfg.dim, ropts);
+    core::Session session(d, ropts);
+    auto a = workloads::random_matrix(cfg.dim, 7);
+    auto b = workloads::random_matrix(cfg.dim, 8);
+    std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+    session.sim().bind_f32("A", a);
+    session.sim().bind_f32("B", b);
+    session.sim().bind_f32("C", c);
+    const auto r = session.run();
     std::printf("%-14s %12.0f %12.0f %12.1f %18s\n", reorder ? "on" : "off",
-                d.area.alm, d.area.bram_bits, d.fmax_mhz,
+                d->area.alm, d->area.bram_bits, d->fmax_mhz,
                 with_commas(r.sim.kernel_cycles).c_str());
   }
   std::printf("reordering costs context storage (BRAM) and HTS logic per "
@@ -122,9 +174,17 @@ void ablation_preloader() {
   opts.enable_profiling = false;
   cycle_t base = 0;
   for (bool preload : {false, true}) {
-    hls::Design d = core::compile(preload ? workloads::gemm_preloaded(cfg)
-                                          : workloads::gemm_blocked(cfg));
-    const auto r = run_gemm(d, cfg.dim, opts);
+    core::Session session(core::compile(preload
+                                            ? workloads::gemm_preloaded(cfg)
+                                            : workloads::gemm_blocked(cfg)),
+                          opts);
+    auto a = workloads::random_matrix(cfg.dim, 7);
+    auto b = workloads::random_matrix(cfg.dim, 8);
+    std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+    session.sim().bind_f32("A", a);
+    session.sim().bind_f32("B", b);
+    session.sim().bind_f32("C", c);
+    const auto r = session.run();
     if (base == 0) base = r.sim.kernel_cycles;
     std::printf("%-24s %16s %9.2fx\n",
                 preload ? "preloader DMA" : "thread-port loads",
@@ -136,12 +196,19 @@ void ablation_preloader() {
 void BM_profiled_vs_clean(benchmark::State& state) {
   workloads::GemmConfig cfg;
   cfg.dim = 32;
-  hls::Design design = core::compile(workloads::gemm_naive(cfg));
+  auto design = core::compile_shared(workloads::gemm_naive(cfg));
   const bool profiled = state.range(0) != 0;
   for (auto _ : state) {
     core::RunOptions opts;
     opts.enable_profiling = profiled;
-    auto r = run_gemm(design, cfg.dim, opts);
+    core::Session session(design, opts);
+    auto a = workloads::random_matrix(cfg.dim, 7);
+    auto b = workloads::random_matrix(cfg.dim, 8);
+    std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+    session.sim().bind_f32("A", a);
+    session.sim().bind_f32("B", b);
+    session.sim().bind_f32("C", c);
+    auto r = session.run();
     benchmark::DoNotOptimize(r.sim.kernel_cycles);
   }
 }
@@ -150,8 +217,9 @@ BENCHMARK(BM_profiled_vs_clean)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  ablation_sampling_period(96);
-  ablation_buffer_depth(64);
+  const int workers = 8;
+  ablation_sampling_period(96, workers);
+  ablation_buffer_depth(64, workers);
   ablation_thread_reordering();
   ablation_preloader();
   benchmark::Initialize(&argc, argv);

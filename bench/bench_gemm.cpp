@@ -57,8 +57,7 @@ void run_case_study(int dim) {
   std::vector<VersionResult> rows;
   std::vector<std::vector<double>> curves;
   for (const auto& v : workloads::gemm_versions()) {
-    hls::Design design = core::compile(v.build(cfg));
-    core::Session session(design, opts);
+    core::Session session(core::compile(v.build(cfg)), opts);
     std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
     auto ac = a;
     auto bc = b;
@@ -122,7 +121,7 @@ void BM_gemm_naive_sim(benchmark::State& state) {
   cfg.dim = int(state.range(0));
   const auto a = workloads::random_matrix(cfg.dim, 1);
   const auto b = workloads::random_matrix(cfg.dim, 2);
-  hls::Design design = core::compile(workloads::gemm_naive(cfg));
+  auto design = core::compile_shared(workloads::gemm_naive(cfg));
   for (auto _ : state) {
     core::Session session(design, [] {
       core::RunOptions o;

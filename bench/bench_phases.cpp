@@ -44,7 +44,7 @@ PhaseRow run_version(const workloads::GemmVersion& v, int dim) {
   // Fine-grained sampling so individual block phases resolve (the paper's
   // Figs. 8/9 zoom into a few loop iterations).
   opts.profiling.sampling_period = kPeriod;
-  core::Session session(design, opts);
+  core::Session session(std::move(design), opts);
 
   auto a = workloads::random_matrix(dim, 3);
   auto b = workloads::random_matrix(dim, 4);
@@ -120,7 +120,7 @@ void run_study(int dim) {
 void BM_phase_analysis(benchmark::State& state) {
   workloads::GemmConfig cfg;
   cfg.dim = 32;
-  hls::Design design = core::compile(workloads::gemm_blocked(cfg));
+  auto design = core::compile_shared(workloads::gemm_blocked(cfg));
   core::RunOptions opts;
   opts.profiling.sampling_period = 256;
   auto a = workloads::random_matrix(cfg.dim, 3);

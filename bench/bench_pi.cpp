@@ -32,7 +32,7 @@ void run_study() {
   for (const auto& pt : points) {
     workloads::PiConfig cfg;
     cfg.steps = pt.steps;
-    hls::Design design = core::compile(workloads::pi_series(cfg));
+    auto design = core::compile_shared(workloads::pi_series(cfg));
     core::Session session(design);
     std::vector<float> out(1, 0.0f);
     session.sim().bind_f32("out", out);
@@ -41,7 +41,7 @@ void run_study() {
     core::RunResult r = session.run();
 
     const double gf = paraver::gflops(r.sim.total_fp_ops(),
-                                      r.sim.total_cycles, design.fmax_mhz);
+                                      r.sim.total_cycles, design->fmax_mhz);
     cycle_t first_done = ~cycle_t{0};
     cycle_t last_start = 0;
     for (const auto& t : r.sim.threads) {
@@ -71,7 +71,7 @@ void run_study() {
 void BM_pi_sim(benchmark::State& state) {
   workloads::PiConfig cfg;
   cfg.steps = state.range(0);
-  hls::Design design = core::compile(workloads::pi_series(cfg));
+  auto design = core::compile_shared(workloads::pi_series(cfg));
   for (auto _ : state) {
     core::Session session(design);
     std::vector<float> out(1, 0.0f);

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   for (const auto& version : workloads::gemm_versions()) {
     hls::Design design = core::compile(version.build(cfg));
 
-    core::Session session(design);
+    core::Session session(std::move(design));
     std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
     auto a_copy = a;  // map(to) buffers are const to the device but the
     auto b_copy = b;  // binding API takes mutable spans
@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
                 err, 100 * st.critical, 100 * st.spinning, 100 * st.running);
     std::printf("   ext bandwidth: mean %.3f B/cyc (%.2f GB/s at %.0f MHz), "
                 "stalls %llu\n",
-                bw, paraver::bytes_per_cycle_to_gbs(bw, design.fmax_mhz),
-                design.fmax_mhz,
+                bw, paraver::bytes_per_cycle_to_gbs(bw, session.design().fmax_mhz),
+                session.design().fmax_mhz,
                 (unsigned long long)r.sim.total_stall_cycles());
     const auto rd = paraver::rate_series(r.timeline,
                                          trace::EventKind::bytes_read);
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
                 phases.mem_only, phases.compute_only);
 
     // The paper's manual trace-reading, automated (its future-work PGO):
-    const auto report = advisor::analyze(design, r.sim, r.timeline);
+    const auto report = advisor::analyze(session.design(), r.sim, r.timeline);
     for (const auto& f : report.findings) {
       std::printf("   advisor: %-24s -> %s\n",
                   advisor::diagnosis_name(f.kind),

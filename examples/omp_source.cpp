@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   hls::Design design = core::compile(std::move(kernel));
   std::printf("%s", hls::report(design).c_str());
 
-  core::Session session(design);
+  core::Session session(std::move(design));
   auto a = workloads::random_matrix(dim, 31);
   auto b = workloads::random_matrix(dim, 32);
   std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);

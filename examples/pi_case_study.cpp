@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     cfg.steps = steps;
     hls::Design design = core::compile(workloads::pi_series(cfg));
 
-    core::Session session(design);
+    core::Session session(std::move(design));
     std::vector<float> out(1, 0.0f);
     session.sim().bind_f32("out", out);
     session.sim().set_arg("steps", std::int64_t(steps));
@@ -39,15 +39,17 @@ int main(int argc, char** argv) {
     const double pi = double(out[0]) / double(steps);
     const double ref = workloads::pi_reference(steps);
     const double gf = paraver::gflops(r.sim.total_fp_ops(),
-                                      r.sim.total_cycles, design.fmax_mhz);
+                                      r.sim.total_cycles, session.design().fmax_mhz);
     std::printf("\n== pi with %lld iterations on %d threads\n",
                 (long long)steps, cfg.threads);
     std::printf("   pi = %.7f (reference %.7f, |err| %.2e, f32 rounding)\n",
                 pi, ref, std::fabs(pi - ref));
     std::printf("   total %llu cycles at %.0f MHz -> %.3f GFLOP/s\n",
-                (unsigned long long)r.sim.total_cycles, design.fmax_mhz, gf);
+                (unsigned long long)r.sim.total_cycles,
+                session.design().fmax_mhz, gf);
     std::printf("%s", paraver::render_state_view(r.timeline).c_str());
-    std::printf("%s", advisor::analyze(design, r.sim, r.timeline)
+    std::printf("%s",
+                advisor::analyze(session.design(), r.sim, r.timeline)
                           .to_text()
                           .c_str());
     paraver::write_paraver(r.timeline, "pi",

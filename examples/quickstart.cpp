@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   }
 
   // 3. Run on the simulated accelerator with profiling.
-  core::Session session(design);
+  core::Session session(std::move(design));
   auto x = workloads::random_vector(n, 1);
   auto y = workloads::random_vector(n, 2);
   std::vector<float> z(std::size_t(n), 0.0f);

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   }
 
   hls::Design design = core::compile(workloads::jacobi2d(n, iters, 8));
-  core::Session session(design);
+  core::Session session(std::move(design));
   auto u = workloads::random_vector(std::int64_t(n) * n, 77, 0.0f, 1.0f);
   const auto ref = workloads::jacobi2d_reference(u, n, iters);
   session.sim().bind_f32("u", u);
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
               (unsigned long long)hist.min_duration,
               (unsigned long long)hist.max_duration);
 
-  std::printf("%s", advisor::analyze(design, r.sim, r.timeline)
+  std::printf("%s", advisor::analyze(session.design(), r.sim, r.timeline)
                         .to_text()
                         .c_str());
   paraver::write_paraver(r.timeline, "jacobi2d", out_dir + "/jacobi2d");

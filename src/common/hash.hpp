@@ -1,0 +1,72 @@
+// Stable 64-bit content hashing (FNV-1a) for cache keys and fingerprints.
+// The digest is defined by the byte stream fed in, so it is identical
+// across platforms and runs — a requirement for the runner's
+// content-addressed design cache and for reproducible report fields.
+// This is NOT a cryptographic hash; keys come from trusted in-process
+// content (IR dumps, option structs), not attacker-controlled input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hlsprof {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1a64& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a64& str(std::string_view s) { return bytes(s.data(), s.size()); }
+
+  /// Integers are hashed as little-endian fixed-width bytes so the digest
+  /// does not depend on host int sizes.
+  Fnv1a64& u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = (unsigned char)(v >> (8 * i));
+    return bytes(b, 8);
+  }
+  Fnv1a64& i64(std::int64_t v) { return u64(std::uint64_t(v)); }
+  Fnv1a64& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  /// Doubles are hashed by bit pattern (all config doubles are exact
+  /// literals, not computed values, so bit-equality is the right notion).
+  Fnv1a64& f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+/// One-shot hash of a string.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  return Fnv1a64{}.str(s).digest();
+}
+
+/// 16-char lowercase hex rendering of a digest (stable cache-key text).
+inline std::string hex_digest(std::uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace hlsprof

@@ -13,7 +13,9 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 
+#include "common/error.hpp"
 #include "hls/compiler.hpp"
 #include "hls/design.hpp"
 #include "profiling/config.hpp"
@@ -28,6 +30,13 @@ namespace hlsprof::core {
 inline hls::Design compile(ir::Kernel k,
                            const hls::HlsOptions& opts = hls::HlsOptions{}) {
   return hls::compile(std::move(k), opts);
+}
+
+/// Compile straight into shared ownership — the form to use when several
+/// sessions (or the batch runner's design cache) run the same design.
+inline std::shared_ptr<const hls::Design> compile_shared(
+    ir::Kernel k, const hls::HlsOptions& opts = hls::HlsOptions{}) {
+  return std::make_shared<const hls::Design>(hls::compile(std::move(k), opts));
 }
 
 struct RunOptions {
@@ -52,21 +61,39 @@ struct RunResult {
 
 /// One kernel launch: owns the simulator and (optionally) the profiling
 /// unit wired into it.
+///
+/// The session *owns* its design (shared ownership), so the documented
+/// pattern of constructing from a temporary —
+/// `core::Session s(core::compile(std::move(k)))` — is safe, and the
+/// runner's design cache can hand the same compiled design to many
+/// concurrent sessions without copies.
 class Session {
  public:
-  explicit Session(const hls::Design& design, RunOptions opts = RunOptions{})
-      : design_(design),
+  /// Takes ownership of the design (designs are move-only — the kernel's
+  /// control tree holds unique_ptr regions). To run one design in several
+  /// sessions, compile with compile_shared() and pass the shared_ptr.
+  explicit Session(hls::Design&& design, RunOptions opts = RunOptions{})
+      : Session(std::make_shared<const hls::Design>(std::move(design)),
+                std::move(opts)) {}
+
+  /// Shares an already-compiled design (no copy) — the cache-hit path.
+  explicit Session(std::shared_ptr<const hls::Design> design,
+                   RunOptions opts = RunOptions{})
+      : design_(std::move(design)),
         opts_(opts),
-        sim_(design, opts.sim, opts.mem_capacity) {
+        sim_(checked(design_), opts.sim, opts.mem_capacity) {
     if (opts_.enable_profiling) {
       unit_ = std::make_unique<profiling::ProfilingUnit>(
-          design_, opts_.profiling, sim_.memory());
+          *design_, opts_.profiling, sim_.memory());
     }
   }
 
   /// Bind buffers / scalar args here before run().
   sim::Simulator& sim() { return sim_; }
-  const hls::Design& design() const { return design_; }
+  const hls::Design& design() const { return *design_; }
+  const std::shared_ptr<const hls::Design>& design_ptr() const {
+    return design_;
+  }
   const profiling::ProfilingUnit* unit() const { return unit_.get(); }
 
   RunResult run() {
@@ -94,11 +121,17 @@ class Session {
 
   /// Hardware cost of the profiling configuration on this design.
   profiling::ProfilingOverhead overhead() const {
-    return profiling::estimate_overhead(design_, opts_.profiling);
+    return profiling::estimate_overhead(*design_, opts_.profiling);
   }
 
  private:
-  const hls::Design& design_;
+  static const hls::Design& checked(
+      const std::shared_ptr<const hls::Design>& p) {
+    HLSPROF_CHECK(p != nullptr, "Session: null design");
+    return *p;
+  }
+
+  std::shared_ptr<const hls::Design> design_;
   RunOptions opts_;
   sim::Simulator sim_;
   std::unique_ptr<profiling::ProfilingUnit> unit_;

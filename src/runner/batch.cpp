@@ -1,0 +1,159 @@
+#include "runner/batch.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+#include "paraver/analysis.hpp"
+#include "runner/pool.hpp"
+
+namespace hlsprof::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void fill_metrics(JobResult& out, const core::Session& session,
+                  const core::RunResult& r) {
+  const hls::Design& d = session.design();
+  out.fmax_mhz = d.fmax_mhz;
+  out.alm = d.area.alm;
+  out.bram_bits = d.area.bram_bits;
+  out.num_threads = d.stats.num_threads;
+
+  out.total_cycles = r.sim.total_cycles;
+  out.kernel_cycles = r.sim.kernel_cycles;
+  out.stall_cycles = r.sim.total_stall_cycles();
+  out.fp_ops = r.sim.total_fp_ops();
+  out.gflops = paraver::gflops(out.fp_ops, r.sim.total_cycles, d.fmax_mhz);
+  out.row_hit_rate = r.sim.row_hit_rate;
+
+  out.has_trace = r.has_trace;
+  if (r.has_trace) {
+    const auto st = paraver::summarize_states(r.timeline);
+    out.state_idle = st.idle;
+    out.state_running = st.running;
+    out.state_critical = st.critical;
+    out.state_spinning = st.spinning;
+    out.state_records = r.state_records;
+    out.event_records = r.event_records;
+    out.flush_bursts = r.flush_bursts;
+    out.trace_bytes = r.trace_bytes;
+    const auto oh = session.overhead();
+    out.overhead_alm_pct = oh.alm_pct;
+    out.overhead_register_pct = oh.register_pct;
+  }
+}
+
+JobResult run_job(const JobSpec& spec, int index, std::uint64_t seed,
+                  DesignCache& cache) {
+  JobResult out;
+  out.index = index;
+  out.name = spec.name;
+  out.seed = seed;
+  const auto t0 = Clock::now();
+  try {
+    HLSPROF_CHECK(spec.kernel != nullptr, "JobSpec '" + spec.name +
+                                              "' has no kernel factory");
+    SplitMix64 rng(seed);
+    ir::Kernel kernel = spec.kernel(rng);
+
+    DesignCache::Entry entry = cache.get_or_compile(std::move(kernel),
+                                                    spec.hls);
+    out.design_key = entry.key;
+    out.cache_hit = entry.hit;
+
+    core::RunOptions opts = spec.run;
+    if (spec.max_cycles != 0) opts.sim.max_cycles = spec.max_cycles;
+
+    core::Session session(entry.design, opts);
+    HostBuffers buffers;
+    if (spec.bind) spec.bind(session, buffers, rng);
+    const core::RunResult r = session.run();
+    fill_metrics(out, session, r);
+    if (spec.check) spec.check(r, buffers);
+    out.status = JobStatus::ok;
+  } catch (const std::exception& e) {
+    out.status = JobStatus::failed;
+    out.error = e.what();
+  } catch (...) {
+    out.status = JobStatus::failed;
+    out.error = "unknown exception";
+  }
+  out.wall_ms = ms_since(t0);
+  if (out.status == JobStatus::ok && spec.soft_timeout_ms > 0 &&
+      out.wall_ms > spec.soft_timeout_ms) {
+    out.status = JobStatus::timed_out;
+    out.error = "exceeded soft wall-clock budget";
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::ok: return "ok";
+    case JobStatus::failed: return "failed";
+    case JobStatus::timed_out: return "timed_out";
+  }
+  return "?";
+}
+
+int BatchResult::count(JobStatus s) const {
+  int n = 0;
+  for (const auto& j : jobs) n += (j.status == s) ? 1 : 0;
+  return n;
+}
+
+int Batch::add(JobSpec spec) {
+  jobs_.push_back(std::move(spec));
+  return int(jobs_.size()) - 1;
+}
+
+std::uint64_t Batch::job_seed(std::uint64_t base, int index) {
+  // Index-keyed (not draw-order-keyed) derivation: job i's stream is the
+  // same no matter which worker picks it up or in what order.
+  SplitMix64 mixer(base ^ (0x9e3779b97f4a7c15ULL * std::uint64_t(index + 1)));
+  return mixer.next();
+}
+
+BatchResult Batch::run(const BatchOptions& options) const {
+  BatchResult result;
+  result.jobs.resize(jobs_.size());
+  result.workers = Pool::resolve_workers(options.workers);
+
+  DesignCache local_cache;
+  DesignCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+  const CacheStats before = cache.stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    Pool pool(result.workers);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      const JobSpec& spec = jobs_[i];
+      JobResult& slot = result.jobs[i];
+      const std::uint64_t seed =
+          spec.seed != 0 ? spec.seed : job_seed(options.seed, int(i));
+      pool.submit([&spec, &slot, &cache, i, seed] {
+        slot = run_job(spec, int(i), seed, cache);
+      });
+    }
+    pool.wait();
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+  const CacheStats after = cache.stats();
+  result.cache_hits = after.hits - before.hits;
+  result.cache_misses = after.misses - before.misses;
+  return result;
+}
+
+}  // namespace hlsprof::runner

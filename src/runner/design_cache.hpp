@@ -1,0 +1,57 @@
+// Content-addressed cache of compiled designs. The key is a stable hash
+// of the kernel's IR dump plus every HLS option that influences
+// compilation, so a parameter sweep that re-runs one design under many
+// RunOptions compiles it exactly once — including under concurrency,
+// where workers requesting an in-flight key block on the one compile
+// instead of duplicating it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "hls/compiler.hpp"
+#include "hls/design.hpp"
+#include "ir/kernel.hpp"
+
+namespace hlsprof::runner {
+
+struct CacheStats {
+  long long hits = 0;    // served from cache (or joined an in-flight compile)
+  long long misses = 0;  // performed the compile
+};
+
+class DesignCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const hls::Design> design;
+    std::uint64_t key = 0;
+    bool hit = false;
+  };
+
+  /// Stable content key of (kernel IR, HLS options).
+  static std::uint64_t key_of(const ir::Kernel& kernel,
+                              const hls::HlsOptions& options);
+
+  /// Return the cached design for this content, compiling on first use.
+  /// Concurrent callers with the same key share one compile: exactly one
+  /// caller misses (and compiles), the rest hit. If the compile throws,
+  /// the error propagates to every waiting caller and the entry is
+  /// dropped so a later request can retry.
+  Entry get_or_compile(ir::Kernel kernel, const hls::HlsOptions& options);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const hls::Design>>;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Future> map_;
+  CacheStats stats_;
+};
+
+}  // namespace hlsprof::runner

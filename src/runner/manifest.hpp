@@ -1,0 +1,45 @@
+// Text manifests describing a parameter sweep, consumed by the
+// `hlsprof-run` CLI and by tests. Line-based `key = value` format, `#`
+// comments; list-valued keys (comma-separated) are swept as a cross
+// product, in declared key order, so job order — and therefore report
+// content — is a pure function of the manifest.
+//
+//   # GEMM thread sweep (paper §V-A saturation study)
+//   workload = gemm
+//   version  = vectorized
+//   dim      = 128
+//   threads  = 1,2,4,8,16
+//   profiling = off
+//   workers  = 8
+//   verify   = on
+//   out      = gemm_threads
+//
+// Supported workloads: gemm (versions naive|no_critical|vectorized|
+// blocked|double_buffered|preloaded), pi, vecadd, dot. Sweepable keys:
+// version, dim, threads, block, vector_len, steps, unroll, n,
+// sampling_period, buffer_lines, thread_reordering. Scalar keys:
+// workload, profiling (on|off), thread_start_interval, max_cycles,
+// workers, seed, verify (on|off), out, label.
+#pragma once
+
+#include <string>
+
+#include "runner/batch.hpp"
+
+namespace hlsprof::runner {
+
+struct ManifestRun {
+  Batch batch;
+  BatchOptions options;
+  std::string label;       // defaults to the workload name
+  std::string out_prefix;  // empty = caller decides (stdout only)
+};
+
+/// Parse manifest text. Throws hlsprof::Error on unknown keys, malformed
+/// values, or unsupported workloads — with the offending line quoted.
+ManifestRun parse_manifest(const std::string& text);
+
+/// Read and parse a manifest file.
+ManifestRun load_manifest(const std::string& path);
+
+}  // namespace hlsprof::runner

@@ -1,0 +1,52 @@
+// Fixed-size worker pool behind the batch runner. Deliberately minimal:
+// FIFO queue, submit/wait, clean shutdown in the destructor. Jobs are
+// opaque thunks — exception capture and result routing are the Batch
+// layer's responsibility (a worker never dies from a throwing job).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hlsprof::runner {
+
+class Pool {
+ public:
+  /// `workers` < 1 is clamped to 1. Threads start immediately.
+  explicit Pool(int workers);
+
+  /// Drains nothing: joins after the queue empties (wait() semantics).
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  int workers() const { return int(threads_.size()); }
+
+  /// Enqueue a task. Tasks that throw terminate the process (std::thread
+  /// noexcept boundary) — wrap fallible work before submitting.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait();
+
+  /// Pick a worker count: `requested` if > 0, else the hardware
+  /// concurrency (at least 1).
+  static int resolve_workers(int requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait() waits for drain
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hlsprof::runner

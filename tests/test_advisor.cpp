@@ -22,7 +22,7 @@ Report analyze_gemm(std::size_t version, int dim,
   core::RunOptions opts;
   opts.sim.host.thread_start_interval = start_interval;
   opts.profiling.sampling_period = 64;
-  core::Session s(d, opts);
+  core::Session s(std::move(d), opts);
   auto a = workloads::random_matrix(dim, 1);
   auto b = workloads::random_matrix(dim, 2);
   std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
@@ -30,7 +30,7 @@ Report analyze_gemm(std::size_t version, int dim,
   s.sim().bind_f32("B", b);
   s.sim().bind_f32("C", c);
   const auto r = s.run();
-  return analyze(d, r.sim, r.timeline);
+  return analyze(s.design(), r.sim, r.timeline);
 }
 
 TEST(Advisor, NaiveGemmDiagnosesCriticalAndLatency) {
@@ -59,13 +59,13 @@ TEST(Advisor, SmallPiRunDiagnosesStartOverhead) {
   workloads::PiConfig cfg;
   cfg.steps = 1000000;
   hls::Design d = core::compile(workloads::pi_series(cfg));
-  core::Session s(d);  // default (realistic) start interval
+  core::Session s(std::move(d));  // default (realistic) start interval
   std::vector<float> out(1, 0.0f);
   s.sim().bind_f32("out", out);
   s.sim().set_arg("steps", cfg.steps);
   s.sim().set_arg("inv_steps", 1e-6);
   const auto r = s.run();
-  const Report rep = analyze(d, r.sim, r.timeline);
+  const Report rep = analyze(s.design(), r.sim, r.timeline);
   EXPECT_TRUE(rep.has(Diagnosis::start_overhead)) << rep.to_text();
   const Finding* f = rep.find(Diagnosis::start_overhead);
   ASSERT_NE(f, nullptr);
@@ -78,13 +78,13 @@ TEST(Advisor, BigPiRunIsComputeBound) {
   hls::Design d = core::compile(workloads::pi_series(cfg));
   core::RunOptions opts;
   opts.sim.host.thread_start_interval = 100;
-  core::Session s(d, opts);
+  core::Session s(std::move(d), opts);
   std::vector<float> out(1, 0.0f);
   s.sim().bind_f32("out", out);
   s.sim().set_arg("steps", cfg.steps);
   s.sim().set_arg("inv_steps", 1.0 / double(cfg.steps));
   const auto r = s.run();
-  const Report rep = analyze(d, r.sim, r.timeline);
+  const Report rep = analyze(s.design(), r.sim, r.timeline);
   EXPECT_TRUE(rep.has(Diagnosis::compute_bound)) << rep.to_text();
   EXPECT_FALSE(rep.has(Diagnosis::start_overhead));
   EXPECT_FALSE(rep.has(Diagnosis::memory_latency_bound));

@@ -16,7 +16,7 @@ core::RunResult run_vecadd() {
   hls::Design d = core::compile(workloads::vecadd(256, 2, 1));
   core::RunOptions opts;
   opts.sim.host.thread_start_interval = 100;
-  core::Session s(d, opts);
+  core::Session s(std::move(d), opts);
   auto x = workloads::random_vector(256, 1);
   auto y = workloads::random_vector(256, 2);
   std::vector<float> z(256);

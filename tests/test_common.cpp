@@ -1,10 +1,14 @@
-// Unit tests for src/common: stats, strings, binned series, RNG.
+// Unit tests for src/common: stats, strings, binned series, RNG, hashing,
+// JSON emission.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/binned_series.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -264,6 +268,79 @@ TEST(Rng, FloatInRange) {
 TEST(Rng, NextBelowInBound) {
   SplitMix64 rng(9);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+// ---- hash ------------------------------------------------------------------
+
+TEST(Hash, MatchesKnownFnv1aVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, ChainedFieldsAreOrderSensitive) {
+  const auto ab = Fnv1a64{}.u64(1).u64(2).digest();
+  const auto ba = Fnv1a64{}.u64(2).u64(1).digest();
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ab, Fnv1a64{}.u64(1).u64(2).digest());
+}
+
+TEST(Hash, IntegersHashAsFixedWidth) {
+  // u64 hashing must differ from hashing the same value's decimal text,
+  // and a boolean is just a 0/1 u64 — exercising the width contract.
+  EXPECT_NE(Fnv1a64{}.u64(42).digest(), fnv1a64("42"));
+  EXPECT_EQ(Fnv1a64{}.boolean(true).digest(), Fnv1a64{}.u64(1).digest());
+}
+
+TEST(Hash, DoubleHashesByBitPattern) {
+  EXPECT_EQ(Fnv1a64{}.f64(1.5).digest(), Fnv1a64{}.f64(1.5).digest());
+  EXPECT_NE(Fnv1a64{}.f64(1.5).digest(), Fnv1a64{}.f64(-1.5).digest());
+}
+
+TEST(Hash, HexDigestIsZeroPadded16Chars) {
+  EXPECT_EQ(hex_digest(0), "0000000000000000");
+  EXPECT_EQ(hex_digest(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(hex_digest(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
+// ---- json ------------------------------------------------------------------
+
+TEST(Json, EscapesControlQuotesAndBackslash) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterEmitsNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "batch");
+  w.field("ok", true);
+  w.field("cycles", std::int64_t(123));
+  w.key("jobs").begin_array();
+  w.begin_object().field("i", 0).end_object();
+  w.value(2.5);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"batch\",\"ok\":true,\"cycles\":123,"
+            "\"jobs\":[{\"i\":0},2.5,null]}");
+}
+
+TEST(Json, WriterRejectsIncompleteDocument) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.str(), Error);
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  JsonWriter w;
+  w.begin_array().value(0.1).value(1e300).value(-0.0).end_array();
+  const std::string s = w.str();
+  EXPECT_NE(s.find("0.1"), std::string::npos);
+  EXPECT_NE(s.find("1e+300"), std::string::npos);
 }
 
 }  // namespace

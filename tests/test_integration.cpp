@@ -12,6 +12,7 @@
 #include "workloads/gemm.hpp"
 #include "workloads/pi.hpp"
 #include "workloads/reference.hpp"
+#include "workloads/simple.hpp"
 
 namespace hlsprof {
 namespace {
@@ -24,7 +25,7 @@ core::RunResult run_gemm_version(std::size_t idx, int dim,
   workloads::GemmConfig cfg;
   cfg.dim = dim;
   hls::Design d = core::compile(workloads::gemm_versions()[idx].build(cfg));
-  core::Session s(d, opts);
+  core::Session s(std::move(d), opts);
   auto a = workloads::random_matrix(dim, 1);
   auto b = workloads::random_matrix(dim, 2);
   std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
@@ -45,7 +46,8 @@ TEST(Integration, TraceToParaverToParserRoundTrip) {
   EXPECT_EQ(parsed.trace.duration, r.timeline.duration);
   EXPECT_EQ(parsed.trace.events.size(), r.timeline.events.size());
   // State summaries must agree after the round trip.
-  parsed.trace.thread_states.size();
+  EXPECT_EQ(parsed.trace.thread_states.size(),
+            r.timeline.thread_states.size());
   for (auto st : {ThreadState::running, ThreadState::critical,
                   ThreadState::spinning}) {
     EXPECT_EQ(parsed.trace.state_cycles(st), r.timeline.state_cycles(st));
@@ -150,9 +152,8 @@ TEST(PaperShape, DoubleBufferingOverlapsComputeWithMemory) {
   cfg.block = 16;
 
   auto overlap_of = [&](std::size_t idx) {
-    hls::Design d =
-        core::compile(workloads::gemm_versions()[idx].build(cfg));
-    core::Session s(d, opts);
+    core::Session s(
+        core::compile(workloads::gemm_versions()[idx].build(cfg)), opts);
     auto a = workloads::random_matrix(cfg.dim, 1);
     auto b = workloads::random_matrix(cfg.dim, 2);
     std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
@@ -175,7 +176,7 @@ TEST(PaperShape, PiGflopsClimbWithIterations) {
   for (std::int64_t steps : {100000, 400000, 1000000}) {
     workloads::PiConfig cfg;
     cfg.steps = steps;
-    hls::Design d = core::compile(workloads::pi_series(cfg));
+    auto d = core::compile_shared(workloads::pi_series(cfg));
     core::Session s(d);
     std::vector<float> out(1, 0.0f);
     s.sim().bind_f32("out", out);
@@ -183,7 +184,7 @@ TEST(PaperShape, PiGflopsClimbWithIterations) {
     s.sim().set_arg("inv_steps", 1.0 / double(steps));
     const auto r = s.run();
     const double gf = paraver::gflops(r.sim.total_fp_ops(),
-                                      r.sim.total_cycles, d.fmax_mhz);
+                                      r.sim.total_cycles, d->fmax_mhz);
     EXPECT_GT(gf, prev) << steps;
     prev = gf;
   }
@@ -193,8 +194,7 @@ TEST(PaperShape, PiSmallRunsDominatedByThreadStarts) {
   // Fig. 11: the earliest threads finish before the last ones start.
   workloads::PiConfig cfg;
   cfg.steps = 1000000;
-  hls::Design d = core::compile(workloads::pi_series(cfg));
-  core::Session s(d);
+  core::Session s(core::compile(workloads::pi_series(cfg)));
   std::vector<float> out(1, 0.0f);
   s.sim().bind_f32("out", out);
   s.sim().set_arg("steps", cfg.steps);
@@ -223,6 +223,46 @@ TEST(PaperShape, OverheadPercentagesInPaperBand) {
     EXPECT_LT(oh.alm_pct, 5.0) << v.name;
     EXPECT_GT(oh.register_pct, 0.1) << v.name;
   }
+}
+
+// ---- session ownership ------------------------------------------------------
+
+TEST(SessionOwnership, TemporaryDesignOutlivesConstruction) {
+  // Regression: Session used to hold `const hls::Design&`, so the
+  // documented one-liner — constructing straight from core::compile(...) —
+  // bound to a dead temporary and every later design() access was UB.
+  // Session now owns the design; the pattern below must be safe.
+  core::Session session(core::compile(workloads::vecadd(64, 2)));
+  std::vector<float> x(64, 1.0f), y(64, 2.0f), z(64, 0.0f);
+  session.sim().bind_f32("x", x);
+  session.sim().bind_f32("y", y);
+  session.sim().bind_f32("z", z);
+  const auto r = session.run();
+  EXPECT_GT(r.sim.kernel_cycles, 0u);
+  for (float v : z) EXPECT_FLOAT_EQ(v, 3.0f);
+  // The design is reachable (and alive) after the temporary is gone.
+  EXPECT_GT(session.design().fmax_mhz, 0.0);
+  EXPECT_GT(session.design().stats.num_threads, 0);
+}
+
+TEST(SessionOwnership, SharedDesignServesManySessions) {
+  auto design = core::compile_shared(workloads::vecadd(64, 2));
+  cycle_t first = 0;
+  for (int i = 0; i < 2; ++i) {
+    core::Session session(design);
+    std::vector<float> x(64, 1.0f), y(64, 2.0f), z(64, 0.0f);
+    session.sim().bind_f32("x", x);
+    session.sim().bind_f32("y", y);
+    session.sim().bind_f32("z", z);
+    const auto r = session.run();
+    if (i == 0) {
+      first = r.sim.kernel_cycles;
+    } else {
+      EXPECT_EQ(r.sim.kernel_cycles, first);
+    }
+    EXPECT_EQ(session.design_ptr().get(), design.get());
+  }
+  EXPECT_GE(design.use_count(), 1);
 }
 
 }  // namespace

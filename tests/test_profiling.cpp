@@ -26,7 +26,7 @@ core::RunOptions fast_opts() {
 core::RunResult run_dot(int threads, core::RunOptions opts,
                         std::int64_t n = 240) {
   hls::Design d = hls::compile(workloads::dot(n, threads));
-  core::Session s(d, opts);
+  core::Session s(std::move(d), opts);
   auto x = workloads::random_vector(n, 3);
   auto y = workloads::random_vector(n, 4);
   std::vector<float> out(1, 0.0f);
@@ -185,7 +185,7 @@ TEST(ProfilingFlush, BadConfigRejected) {
 TEST(ProfilingRoundTrip, DecodeMatchesRecordCounts) {
   hls::Design d = hls::compile(workloads::dot(240, 2));
   core::RunOptions o = fast_opts();
-  core::Session s(d, o);
+  core::Session s(std::move(d), o);
   auto x = workloads::random_vector(240, 3);
   auto y = workloads::random_vector(240, 4);
   std::vector<float> out(1, 0.0f);
@@ -209,7 +209,7 @@ TEST(ProfilingRoundTrip, PerturbationIsBoundedButTrafficReal) {
   // The tracer's flush traffic goes through the shared DRAM: the profiled
   // run differs from the clean run by less than 2%, and the DRAM write
   // count includes the trace lines.
-  hls::Design d = hls::compile(workloads::dot(960, 4));
+  auto d = core::compile_shared(workloads::dot(960, 4));
   core::RunOptions clean = fast_opts();
   clean.enable_profiling = false;
   core::RunOptions traced = fast_opts();

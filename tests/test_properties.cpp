@@ -140,7 +140,7 @@ TEST(SemaphoreSweep, HandoffLatencyGrowsCriticalTime) {
     hls::Design d = hls::compile(workloads::dot(960, 8));
     core::RunOptions opts;
     opts.sim = p;
-    core::Session s(d, opts);
+    core::Session s(std::move(d), opts);
     auto x = workloads::random_vector(960, 3);
     auto y = workloads::random_vector(960, 4);
     std::vector<float> out(1, 0.0f);
@@ -165,7 +165,7 @@ TEST_P(SamplingPeriodSweep, EventTotalsInvariantAcrossPeriods) {
     core::RunOptions opts;
     opts.sim = fast_params();
     opts.profiling.sampling_period = period;
-    core::Session s(d, opts);
+    core::Session s(std::move(d), opts);
     auto x = workloads::random_vector(480, 3);
     auto y = workloads::random_vector(480, 4);
     std::vector<float> out(1, 0.0f);
@@ -195,7 +195,7 @@ TEST_P(BufferDepthSweep, DecodedRecordsInvariantAcrossBufferDepth) {
     core::RunOptions opts;
     opts.sim = fast_params();
     opts.profiling.buffer_lines = lines;
-    core::Session s(d, opts);
+    core::Session s(std::move(d), opts);
     auto x = workloads::random_vector(480, 3);
     auto y = workloads::random_vector(480, 4);
     std::vector<float> out(1, 0.0f);

@@ -77,7 +77,7 @@ TEST(Histogram, RealTraceSpinDurations) {
   hls::Design d = core::compile(workloads::gemm_naive(cfg));
   core::RunOptions opts;
   opts.sim.host.thread_start_interval = 100;
-  core::Session s(d, opts);
+  core::Session s(std::move(d), opts);
   auto a = workloads::random_matrix(cfg.dim, 1);
   auto b = workloads::random_matrix(cfg.dim, 2);
   std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);

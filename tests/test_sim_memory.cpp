@@ -89,7 +89,9 @@ TEST(Memory, DifferentRowsDifferentBanksOverlap) {
     const MemTiming t =
         mem.access(cycle_t(r), addr_t(r) * p.row_bytes, 4, false);
     EXPECT_EQ(t.accepted, cycle_t(r));  // bus free each cycle
-    if (r > 0) EXPECT_LE(t.complete, prev_complete + 2);
+    if (r > 0) {
+      EXPECT_LE(t.complete, prev_complete + 2);
+    }
     prev_complete = t.complete;
   }
 }

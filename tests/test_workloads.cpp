@@ -37,7 +37,7 @@ TEST_P(GemmCorrectness, MatchesReference) {
   cfg.threads = threads;
   const auto& version = gemm_versions()[version_idx];
   hls::Design d = hls::compile(version.build(cfg));
-  core::Session s(d, fast_opts());
+  core::Session s(std::move(d), fast_opts());
   auto a = random_matrix(dim, 100 + version_idx);
   auto b = random_matrix(dim, 200 + version_idx);
   std::vector<float> c(std::size_t(dim) * std::size_t(dim), 0.0f);
@@ -83,7 +83,7 @@ TEST(Gemm, BlockedMovesLessExternalData) {
   cfg.dim = 64;
   auto run_loads = [&](const GemmVersion& v) {
     hls::Design d = hls::compile(v.build(cfg));
-    core::Session s(d, fast_opts());
+    core::Session s(std::move(d), fast_opts());
     auto a = random_matrix(cfg.dim, 1);
     auto b = random_matrix(cfg.dim, 2);
     std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
@@ -104,7 +104,7 @@ TEST_P(PiCorrectness, ApproximatesPi) {
   PiConfig cfg;
   cfg.steps = steps;
   hls::Design d = hls::compile(pi_series(cfg));
-  core::Session s(d, fast_opts());
+  core::Session s(std::move(d), fast_opts());
   std::vector<float> out(1, 0.0f);
   s.sim().bind_f32("out", out);
   s.sim().set_arg("steps", steps);
@@ -123,7 +123,7 @@ TEST(Pi, RemainderLoopHandlesNonMultipleOfUnroll) {
   PiConfig cfg;
   cfg.steps = 10000;
   hls::Design d = hls::compile(pi_series(cfg));
-  core::Session s(d, fast_opts());
+  core::Session s(std::move(d), fast_opts());
   std::vector<float> out(1, 0.0f);
   s.sim().bind_f32("out", out);
   s.sim().set_arg("steps", std::int64_t(10000));

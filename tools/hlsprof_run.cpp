@@ -1,0 +1,121 @@
+// hlsprof-run — execute a sweep manifest through the batch runner.
+//
+//   hlsprof-run sweep.manifest [--workers=N] [--out=PREFIX] [--seed=S]
+//                              [--canonical] [--json] [--quiet]
+//
+//   --workers=N    override the manifest's worker count (0 = one per core)
+//   --out=PREFIX   write PREFIX.json + PREFIX.csv (overrides manifest `out`)
+//   --seed=S       override the manifest's batch seed
+//   --canonical    deterministic report: omit wall-clock + per-job cache_hit
+//   --json         print the JSON report to stdout
+//   --quiet        suppress the summary table
+//
+// Exit status: 0 if every job finished ok, 1 if any job failed or timed
+// out, 2 on usage/manifest errors.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "runner/runner.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <manifest> [--workers=N] [--out=PREFIX] [--seed=S]"
+               " [--canonical] [--json] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_flag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_override;
+  std::string value;
+  int workers_override = -1;
+  long long seed_override = -1;
+  bool canonical = false;
+  bool print_json = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--canonical") {
+      canonical = true;
+    } else if (arg == "--json") {
+      print_json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (parse_flag(arg, "workers", &value)) {
+      workers_override = std::atoi(value.c_str());
+    } else if (parse_flag(arg, "seed", &value)) {
+      seed_override = std::atoll(value.c_str());
+    } else if (parse_flag(arg, "out", &value)) {
+      out_override = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (manifest_path.empty()) return usage(argv[0]);
+
+  runner::ManifestRun run;
+  try {
+    run = runner::load_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+    return 2;
+  }
+
+  if (workers_override >= 0) run.options.workers = workers_override;
+  if (seed_override >= 0) run.options.seed = std::uint64_t(seed_override);
+  if (!out_override.empty()) run.out_prefix = out_override;
+
+  const runner::BatchResult result = run.batch.run(run.options);
+
+  runner::ReportOptions ropts;
+  ropts.canonical = canonical;
+  ropts.label = run.label;
+
+  if (!quiet) {
+    std::fputs(runner::summary_table(result).c_str(), stdout);
+    std::printf("jobs: %zu ok=%d failed=%d timed_out=%d | cache %lld hits / "
+                "%lld misses | %d workers, %.0f ms\n",
+                result.jobs.size(), result.count(runner::JobStatus::ok),
+                result.count(runner::JobStatus::failed),
+                result.count(runner::JobStatus::timed_out), result.cache_hits,
+                result.cache_misses, result.workers, result.wall_ms);
+  }
+  if (print_json) {
+    std::fputs(runner::report_json(result, ropts).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  if (!run.out_prefix.empty()) {
+    try {
+      const std::string path =
+          runner::write_report(result, run.out_prefix, ropts);
+      if (!quiet)
+        std::printf("report written to %s (+ .csv)\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return 2;
+    }
+  }
+  return result.all_ok() ? 0 : 1;
+}
