@@ -4,11 +4,13 @@
 // decodes multi-GB traces offline).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "paraver/reader.hpp"
 #include "paraver/writer.hpp"
 #include "trace/records.hpp"
+#include "trace/streaming.hpp"
 #include "trace/timed_trace.hpp"
 
 using namespace hlsprof;
@@ -53,6 +55,44 @@ void BM_decode_lines(benchmark::State& state) {
                           std::int64_t(lines.size()));
 }
 BENCHMARK(BM_decode_lines);
+
+void BM_streaming_decode(benchmark::State& state) {
+  // Same record mix as BM_decode_lines, fed burst-by-burst at the
+  // profiling unit's flush granularity (buffer_lines - headroom lines per
+  // burst). Measures the per-chunk overhead of the streaming path over
+  // the one-shot batch decode.
+  const int threads = 8;
+  const std::size_t burst = std::size_t(state.range(0)) * trace::kLineBytes;
+  trace::LineEncoder enc(threads);
+  std::vector<std::uint8_t> states(std::size_t(threads), 1);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    enc.append_state(i * 7, states);
+    trace::EventRecord er;
+    er.kind = trace::EventKind::fp_ops;
+    er.thread = std::uint8_t(i % 8);
+    er.clock32 = i * 7;
+    er.value = i;
+    enc.append_event(er);
+  }
+  const auto lines = enc.take_lines();
+  struct Count final : trace::RecordSink {
+    std::size_t n = 0;
+    void on_state(const trace::StateRecord&, cycle_t) override { ++n; }
+    void on_event(const trace::EventRecord&, cycle_t) override { ++n; }
+  };
+  for (auto _ : state) {
+    Count sink;
+    trace::StreamingDecoder dec(threads, sink);
+    for (std::size_t pos = 0; pos < lines.size(); pos += burst) {
+      dec.feed(lines.data() + pos, std::min(burst, lines.size() - pos));
+    }
+    dec.finish();
+    benchmark::DoNotOptimize(sink.n);
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(lines.size()));
+}
+BENCHMARK(BM_streaming_decode)->Arg(60)->Arg(8)->Arg(1);
 
 trace::TimedTrace synth_trace(int threads, int intervals) {
   trace::DecodedTrace d;

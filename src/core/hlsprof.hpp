@@ -48,8 +48,9 @@ struct RunOptions {
 
 struct RunResult {
   sim::SimResult sim;
-  /// Reconstructed timeline decoded from the simulated DRAM trace region;
-  /// empty (num_threads == 0) when profiling was disabled.
+  /// Timeline reconstructed by streaming every flush burst through
+  /// trace::StreamingDecoder → trace::TimedTraceBuilder as the run
+  /// executes; empty (num_threads == 0) when profiling was disabled.
   trace::TimedTrace timeline;
   bool has_trace = false;
   // Tracer statistics (zero when profiling was disabled).
@@ -57,6 +58,11 @@ struct RunResult {
   long long event_records = 0;
   long long flush_bursts = 0;
   std::size_t trace_bytes = 0;
+  /// Largest flush burst the streaming pipeline had resident at once —
+  /// the peak host-side trace memory of the run. Bounded by
+  /// `profiling.buffer_lines * trace::kLineBytes` regardless of how long
+  /// the run was or how many bytes the trace totalled.
+  std::size_t peak_trace_buffer_bytes = 0;
 };
 
 /// One kernel launch: owns the simulator and (optionally) the profiling
@@ -98,24 +104,40 @@ class Session {
 
   RunResult run() {
     RunResult r;
-    r.sim = sim_.run(unit_.get());
-    if (unit_ != nullptr) {
-      r.timeline = unit_->timeline();
-      r.has_trace = true;
-      // Extension beyond the paper (its multi-FPGA future work, first
-      // step): host<->device map() transfers become Paraver communication
-      // records anchored on thread 0.
-      for (const sim::HostTransfer& t : r.sim.transfers) {
-        r.timeline.comms.push_back(trace::CommRecord{
-            0, t.begin, t.end, t.bytes,
-            t.to_device ? trace::kCommTagToDevice
-                        : trace::kCommTagFromDevice});
-      }
-      r.state_records = unit_->state_records();
-      r.event_records = unit_->event_records();
-      r.flush_bursts = unit_->flush_bursts();
-      r.trace_bytes = unit_->trace_bytes_written();
+    if (unit_ == nullptr) {
+      r.sim = sim_.run(nullptr);
+      return r;
     }
+    // Streaming trace pipeline: every flush burst is decoded and folded
+    // into the timeline as it lands in DRAM, so the host never holds more
+    // than one burst of raw trace — trace size no longer bounds job
+    // memory, and the DRAM trace region acts as a ring instead of
+    // overflowing. The burst-by-burst decode yields byte-identical
+    // timelines to the post-run batch path (unit()->timeline()), which
+    // remains available while the ring has not wrapped.
+    trace::TimedTraceBuilder builder(design_->kernel.num_threads,
+                                     opts_.profiling.sampling_period);
+    trace::StreamingDecoder decoder(design_->kernel.num_threads, builder);
+    unit_->set_flush_sink(&decoder);
+    const SinkGuard guard{unit_.get()};  // detach even if the run throws
+    r.sim = sim_.run(unit_.get());
+    decoder.finish();
+    r.timeline = builder.finish(unit_->run_end());
+    r.has_trace = true;
+    // Extension beyond the paper (its multi-FPGA future work, first
+    // step): host<->device map() transfers become Paraver communication
+    // records anchored on thread 0.
+    for (const sim::HostTransfer& t : r.sim.transfers) {
+      r.timeline.comms.push_back(trace::CommRecord{
+          0, t.begin, t.end, t.bytes,
+          t.to_device ? trace::kCommTagToDevice
+                      : trace::kCommTagFromDevice});
+    }
+    r.state_records = unit_->state_records();
+    r.event_records = unit_->event_records();
+    r.flush_bursts = unit_->flush_bursts();
+    r.trace_bytes = unit_->trace_bytes_written();
+    r.peak_trace_buffer_bytes = unit_->peak_burst_bytes();
     return r;
   }
 
@@ -125,6 +147,13 @@ class Session {
   }
 
  private:
+  /// Detaches the run-local flush sink from the unit on scope exit, so
+  /// the unit never holds a dangling sink pointer after a throwing run.
+  struct SinkGuard {
+    profiling::ProfilingUnit* unit;
+    ~SinkGuard() { unit->set_flush_sink(nullptr); }
+  };
+
   static const hls::Design& checked(
       const std::shared_ptr<const hls::Design>& p) {
     HLSPROF_CHECK(p != nullptr, "Session: null design");

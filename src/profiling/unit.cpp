@@ -35,6 +35,10 @@ ProfilingUnit::ProfilingUnit(const hls::Design& design,
   HLSPROF_CHECK(cfg_.sampling_period > 0, "sampling period must be positive");
   HLSPROF_CHECK(cfg_.buffer_lines > cfg_.flush_headroom_lines,
                 "buffer must be larger than the flush headroom");
+  ring_bytes_ = (cfg_.trace_region_bytes / trace::kLineBytes) *
+                trace::kLineBytes;
+  HLSPROF_CHECK(ring_bytes_ >= trace::kLineBytes,
+                "trace region must hold at least one 512-bit line");
   trace_base_ = mem_.allocate("profiling-trace", cfg_.trace_region_bytes);
   state_now_.assign(std::size_t(T_), 0 /*idle*/);
   bins_.reserve(std::size_t(kMetrics * T_));
@@ -148,22 +152,33 @@ void ProfilingUnit::maybe_flush(cycle_t t, bool force) {
   }
   const std::vector<std::uint8_t> lines = encoder_.take_lines();
   if (lines.empty()) return;
-  HLSPROF_CHECK(
-      trace_write_off_ + lines.size() <= cfg_.trace_region_bytes,
-      strf("profiling trace region overflow (%zu bytes): increase "
-           "trace_region_bytes or the sampling period",
-           cfg_.trace_region_bytes));
+  // Without a streaming consumer the whole trace must stay resident for
+  // the post-run decode, so the region bounds the trace. With a sink the
+  // region is a ring: the host already consumed every line, overwriting
+  // old ones is fine, and trace size is unbounded by region size.
+  if (sink_ == nullptr) {
+    HLSPROF_CHECK(
+        trace_write_off_ + lines.size() <= cfg_.trace_region_bytes,
+        strf("profiling trace region overflow (%zu bytes): increase "
+             "trace_region_bytes, the sampling period, or install a "
+             "streaming flush sink",
+             cfg_.trace_region_bytes));
+  }
   // Burst-write the buffer to DRAM through the shared controller: this is
-  // the tracer's perturbation of the application (paper §IV-B1).
+  // the tracer's perturbation of the application (paper §IV-B1). The ring
+  // modulo is a no-op until the first wrap, so pre-wrap traffic (and
+  // therefore timing) is identical with and without a sink.
   for (std::size_t off = 0; off < lines.size(); off += trace::kLineBytes) {
-    mem_.write_bytes(trace_base_ + trace_write_off_ + off, lines.data() + off,
-                     trace::kLineBytes);
-    (void)mem_.access(t, trace_base_ + trace_write_off_ + off,
-                      std::uint32_t(trace::kLineBytes), /*is_write=*/true);
+    const addr_t dst = trace_base_ + (trace_write_off_ + off) % ring_bytes_;
+    mem_.write_bytes(dst, lines.data() + off, trace::kLineBytes);
+    (void)mem_.access(t, dst, std::uint32_t(trace::kLineBytes),
+                      /*is_write=*/true);
   }
   trace_write_off_ += lines.size();
   buffered_lines_ = 0;
   ++flush_bursts_;
+  peak_burst_bytes_ = std::max(peak_burst_bytes_, lines.size());
+  if (sink_ != nullptr) sink_->on_burst(lines.data(), lines.size());
 }
 
 void ProfilingUnit::on_finish(cycle_t t) {
@@ -179,6 +194,9 @@ void ProfilingUnit::on_finish(cycle_t t) {
 }
 
 trace::DecodedTrace ProfilingUnit::decode() const {
+  HLSPROF_CHECK(trace_write_off_ <= ring_bytes_,
+                "trace ring wrapped (a streaming sink consumed the lines); "
+                "the post-run batch decode is unavailable");
   std::vector<std::uint8_t> buf(trace_write_off_);
   mem_.read_bytes(trace_base_, buf.data(), buf.size());
   return trace::decode_lines(buf.data(), buf.size(), T_);

@@ -15,6 +15,7 @@
 #include "sim/hooks.hpp"
 #include "sim/memory.hpp"
 #include "trace/records.hpp"
+#include "trace/streaming.hpp"
 #include "trace/timed_trace.hpp"
 
 namespace hlsprof::profiling {
@@ -34,13 +35,31 @@ class ProfilingUnit final : public sim::SimHooks {
               bool is_write) override;
   void on_finish(cycle_t t) override;
 
+  // ---- Streaming consumption ---------------------------------------------
+  /// Install a sink that receives every flush burst (whole 512-bit lines)
+  /// as it is written to external memory — the in-execution capture path.
+  /// With a sink installed the DRAM trace region becomes a ring: bursts
+  /// wrap around instead of overflowing, because the host has already
+  /// consumed the lines, so the trace size is no longer bounded by
+  /// trace_region_bytes (and post-run decode() is unavailable once the
+  /// ring has wrapped). Pass nullptr to detach. The sink must stay alive
+  /// until detached or the run finishes.
+  void set_flush_sink(trace::FlushSink* sink) { sink_ = sink; }
+
+  /// Largest single flush burst delivered so far, in bytes. A streaming
+  /// consumer's peak residency is bounded by this (at most
+  /// `buffer_lines * trace::kLineBytes`), independent of run length.
+  std::size_t peak_burst_bytes() const { return peak_burst_bytes_; }
+
   // ---- Post-run access ----------------------------------------------------
   /// Read the raw trace back from simulated DRAM and decode it — the exact
   /// path a host application takes (paper §IV-B: "there they can later be
-  /// accessed from the host for analysis").
+  /// accessed from the host for analysis"). Requires the trace to still be
+  /// fully resident (i.e. the ring must not have wrapped).
   trace::DecodedTrace decode() const;
 
-  /// Decode and reconstruct the timeline.
+  /// Decode and reconstruct the timeline (batch path; core::Session uses
+  /// the streaming pipeline instead).
   trace::TimedTrace timeline() const;
 
   addr_t trace_base() const { return trace_base_; }
@@ -64,10 +83,13 @@ class ProfilingUnit final : public sim::SimHooks {
   int T_;
 
   addr_t trace_base_ = 0;
-  std::size_t trace_write_off_ = 0;
+  std::size_t trace_write_off_ = 0;  // total bytes ever flushed
+  std::size_t ring_bytes_ = 0;       // region size rounded down to lines
 
   trace::LineEncoder encoder_;
   std::size_t buffered_lines_ = 0;
+  trace::FlushSink* sink_ = nullptr;
+  std::size_t peak_burst_bytes_ = 0;
 
   // State tracker.
   std::vector<std::uint8_t> state_now_;  // 2-bit codes

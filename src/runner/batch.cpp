@@ -44,6 +44,7 @@ void fill_metrics(JobResult& out, const core::Session& session,
     out.event_records = r.event_records;
     out.flush_bursts = r.flush_bursts;
     out.trace_bytes = r.trace_bytes;
+    out.peak_trace_buffer_bytes = r.peak_trace_buffer_bytes;
     const auto oh = session.overhead();
     out.overhead_alm_pct = oh.alm_pct;
     out.overhead_register_pct = oh.register_pct;

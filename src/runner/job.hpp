@@ -138,6 +138,10 @@ struct JobResult {
   long long event_records = 0;
   long long flush_bursts = 0;
   std::uint64_t trace_bytes = 0;
+  /// Peak host-side trace residency of the streaming decode pipeline
+  /// (largest single flush burst) — bounded by the profiling buffer size,
+  /// not the trace length.
+  std::uint64_t peak_trace_buffer_bytes = 0;
   double overhead_alm_pct = 0.0;
   double overhead_register_pct = 0.0;
 };

@@ -47,6 +47,7 @@ void job_json(JsonWriter& w, const JobResult& j, bool canonical) {
   w.field("event_records", j.event_records);
   w.field("flush_bursts", j.flush_bursts);
   w.field("trace_bytes", j.trace_bytes);
+  w.field("peak_trace_buffer_bytes", j.peak_trace_buffer_bytes);
   w.field("overhead_alm_pct", j.overhead_alm_pct);
   w.field("overhead_register_pct", j.overhead_register_pct);
   w.end_object();
@@ -87,8 +88,8 @@ std::string report_csv(const BatchResult& result,
       "index,name,status,seed,design_key,fmax_mhz,num_threads,total_cycles,"
       "kernel_cycles,stall_cycles,fp_ops,gflops,row_hit_rate,state_idle,"
       "state_running,state_critical,state_spinning,state_records,"
-      "event_records,flush_bursts,trace_bytes,overhead_alm_pct,"
-      "overhead_register_pct";
+      "event_records,flush_bursts,trace_bytes,peak_trace_buffer_bytes,"
+      "overhead_alm_pct,overhead_register_pct";
   if (!options.canonical) out += ",cache_hit,wall_ms";
   out += "\n";
   for (const JobResult& j : result.jobs) {
@@ -105,7 +106,8 @@ std::string report_csv(const BatchResult& result,
       name = quoted;
     }
     out += strf("%d,%s,%s,%llu,%s,%.17g,%d,%llu,%llu,%llu,%lld,%.17g,%.17g,"
-                "%.17g,%.17g,%.17g,%.17g,%lld,%lld,%lld,%llu,%.17g,%.17g",
+                "%.17g,%.17g,%.17g,%.17g,%lld,%lld,%lld,%llu,%llu,%.17g,"
+                "%.17g",
                 j.index, name.c_str(), job_status_name(j.status),
                 (unsigned long long)j.seed, hex_digest(j.design_key).c_str(),
                 j.fmax_mhz, j.num_threads,
@@ -115,8 +117,9 @@ std::string report_csv(const BatchResult& result,
                 j.row_hit_rate, j.state_idle, j.state_running,
                 j.state_critical, j.state_spinning, j.state_records,
                 j.event_records, j.flush_bursts,
-                (unsigned long long)j.trace_bytes, j.overhead_alm_pct,
-                j.overhead_register_pct);
+                (unsigned long long)j.trace_bytes,
+                (unsigned long long)j.peak_trace_buffer_bytes,
+                j.overhead_alm_pct, j.overhead_register_pct);
     if (!options.canonical) {
       out += strf(",%d,%.17g", j.cache_hit ? 1 : 0, j.wall_ms);
     }

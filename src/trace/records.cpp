@@ -1,10 +1,8 @@
 #include "trace/records.hpp"
 
-#include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
-#include "common/strings.hpp"
 
 namespace hlsprof::trace {
 
@@ -104,117 +102,38 @@ std::vector<std::uint8_t> LineEncoder::take_lines() {
   return std::exchange(full_bytes_, {});
 }
 
-namespace {
+void ClockUnwrapper::seed(cycle_t known) {
+  HLSPROF_CHECK(!seeded_, "ClockUnwrapper::seed after the first clock");
+  seeded_ = true;
+  last_ = std::uint32_t(known & 0xffffffffULL);
+  base_ = known - cycle_t(last_);
+}
 
-class Cursor {
- public:
-  Cursor(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
-  std::uint8_t u8() {
-    HLSPROF_CHECK(i_ + 1 <= n_, "trace decode past end of line");
-    return p_[i_++];
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    for (int k = 0; k < 4; ++k) v |= std::uint32_t(u8()) << (8 * k);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    for (int k = 0; k < 8; ++k) v |= std::uint64_t(u8()) << (8 * k);
-    return v;
-  }
-
- private:
-  const std::uint8_t* p_;
-  std::size_t n_;
-  std::size_t i_ = 0;
-};
-
-/// Incremental 32-bit clock unwrapper: interprets each new clock as a
-/// signed delta from the previous one.
-class Unwrapper {
- public:
-  cycle_t feed(std::uint32_t c32) {
-    if (!seeded_) {
-      seeded_ = true;
-      last_ = c32;
-      base_ = 0;
-      return cycle_t(c32);
-    }
-    const std::int64_t delta =
-        std::int64_t(std::int32_t(c32 - last_));  // signed wrap delta
-    std::int64_t next = std::int64_t(base_) + std::int64_t(last_) + delta;
-    if (next < 0) next = 0;
+cycle_t ClockUnwrapper::feed(std::uint32_t c32) {
+  if (!seeded_) {
+    seeded_ = true;
     last_ = c32;
-    base_ = cycle_t(next) - cycle_t(last_);
-    return cycle_t(next);
+    base_ = 0;
+    return cycle_t(c32);
   }
-
- private:
-  bool seeded_ = false;
-  std::uint32_t last_ = 0;
-  cycle_t base_ = 0;
-};
-
-}  // namespace
+  const std::int64_t delta =
+      std::int64_t(std::int32_t(c32 - last_));  // signed wrap delta
+  std::int64_t next = std::int64_t(base_) + std::int64_t(last_) + delta;
+  if (next < 0) next = 0;
+  last_ = c32;
+  base_ = cycle_t(next) - cycle_t(last_);
+  return cycle_t(next);
+}
 
 std::vector<cycle_t> unwrap_clocks(const std::vector<std::uint32_t>& clocks) {
-  Unwrapper u;
+  ClockUnwrapper u;
   std::vector<cycle_t> out;
   out.reserve(clocks.size());
   for (std::uint32_t c : clocks) out.push_back(u.feed(c));
   return out;
 }
 
-DecodedTrace decode_lines(const std::uint8_t* data, std::size_t bytes,
-                          int num_threads) {
-  HLSPROF_CHECK(bytes % kLineBytes == 0,
-                "trace region is not a whole number of lines");
-  DecodedTrace out;
-  Unwrapper unwrap;
-  const std::size_t state_bytes = state_record_bytes(num_threads);
-  for (std::size_t off = 0; off < bytes; off += kLineBytes) {
-    Cursor c(data + off, kLineBytes);
-    const int count = c.u8();
-    // The smallest record (state, 1 thread) is 6 bytes; a 64-byte line
-    // with its count byte holds at most 10 records.
-    HLSPROF_CHECK(count <= 10, "implausible record count in trace line");
-    for (int r = 0; r < count; ++r) {
-      const std::uint8_t tag = c.u8();
-      if (tag == kTagState) {
-        StateRecord sr;
-        sr.clock32 = c.u32();
-        sr.states.resize(std::size_t(num_threads));
-        std::uint8_t packed = 0;
-        int bits = 8;  // force initial fetch
-        for (int t = 0; t < num_threads; ++t) {
-          if (bits == 8) {
-            packed = c.u8();
-            bits = 0;
-          }
-          sr.states[std::size_t(t)] = std::uint8_t((packed >> bits) & 0x3);
-          bits += 2;
-        }
-        out.state_clocks.push_back(unwrap.feed(sr.clock32));
-        out.states.push_back(std::move(sr));
-        (void)state_bytes;
-      } else if (tag == kTagEvent) {
-        EventRecord er;
-        er.kind = EventKind(c.u8());
-        HLSPROF_CHECK(std::uint8_t(er.kind) >= 1 && std::uint8_t(er.kind) <= 5,
-                      "unknown event kind in trace");
-        er.thread = c.u8();
-        er.clock32 = c.u32();
-        er.value = c.u64();
-        out.event_clocks.push_back(unwrap.feed(er.clock32));
-        out.events.push_back(er);
-      } else {
-        fail(strf("bad record tag 0x%02X in trace line at offset %zu", tag,
-                  off));
-      }
-    }
-  }
-  return out;
-}
+// decode_lines lives in streaming.cpp as a thin wrapper over
+// StreamingDecoder, so batch and streaming decode share one record parser.
 
 }  // namespace hlsprof::trace

@@ -96,8 +96,36 @@ struct DecodedTrace {
   std::vector<cycle_t> event_clocks;  // unwrapped clocks, parallel to events
 };
 
+/// Incremental 32-bit clock unwrapper: interprets each new clock as a
+/// signed delta from the previous one, so consecutive records less than
+/// half a wrap apart unwrap to monotone 64-bit cycles (small backwards
+/// steps of lagged event windows are preserved, clamped at zero). One
+/// instance persists across flush bursts in the streaming decoder; the
+/// batch helpers below create a fresh one per call.
+class ClockUnwrapper {
+ public:
+  /// Seed with an externally known cycle count (e.g. the host attaches to
+  /// a stream whose first line was written after one or more 32-bit
+  /// wraps). The next fed clock is interpreted as a signed delta from
+  /// `known`, so the unwrapped stream stays monotone instead of
+  /// restarting below 2^32. Must be called before the first feed().
+  void seed(cycle_t known);
+
+  /// Unwrap the next 32-bit clock.
+  cycle_t feed(std::uint32_t c32);
+
+  bool seeded() const { return seeded_; }
+
+ private:
+  bool seeded_ = false;
+  std::uint32_t last_ = 0;
+  cycle_t base_ = 0;
+};
+
 /// Decode a span of 512-bit lines produced by LineEncoder. Throws Error on
-/// malformed framing. `num_threads` must match the encoder's.
+/// malformed framing (naming the offending line's byte offset).
+/// `num_threads` must match the encoder's. Thin wrapper over
+/// trace::StreamingDecoder (streaming.hpp) — one feed() of the whole span.
 DecodedTrace decode_lines(const std::uint8_t* data, std::size_t bytes,
                           int num_threads);
 

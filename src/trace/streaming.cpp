@@ -1,0 +1,169 @@
+#include "trace/streaming.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlsprof::trace {
+
+namespace {
+
+/// Bounds-checked byte reader over one line; errors carry the line's
+/// absolute offset in the stream.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* p, std::size_t n, std::size_t line_offset)
+      : p_(p), n_(n), line_offset_(line_offset) {}
+  std::uint8_t u8() {
+    if (i_ + 1 > n_) {
+      fail(strf("trace record overruns its line at offset %zu",
+                line_offset_));
+    }
+    return p_[i_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) v |= std::uint32_t(u8()) << (8 * k);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) v |= std::uint64_t(u8()) << (8 * k);
+    return v;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t line_offset_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+int max_records_per_line(int num_threads) {
+  const std::size_t smallest =
+      std::min(state_record_bytes(num_threads), event_record_bytes());
+  return int((kLineBytes - 1 /*count byte*/) / smallest);
+}
+
+StreamingDecoder::StreamingDecoder(int num_threads, RecordSink& sink)
+    : num_threads_(num_threads),
+      max_records_(max_records_per_line(num_threads)),
+      sink_(sink) {
+  HLSPROF_CHECK(num_threads >= 1 && num_threads <= 64,
+                "StreamingDecoder thread count out of range");
+}
+
+void StreamingDecoder::decode_line(const std::uint8_t* line,
+                                   std::size_t line_offset) {
+  Cursor c(line, kLineBytes, line_offset);
+  const int count = c.u8();
+  if (count > max_records_) {
+    fail(strf("implausible record count %d (max %d for %d threads) in trace "
+              "line at offset %zu",
+              count, max_records_, num_threads_, line_offset));
+  }
+  for (int r = 0; r < count; ++r) {
+    const std::uint8_t tag = c.u8();
+    if (tag == kTagState) {
+      StateRecord sr;
+      sr.clock32 = c.u32();
+      sr.states.resize(std::size_t(num_threads_));
+      std::uint8_t packed = 0;
+      int bits = 8;  // force initial fetch
+      for (int t = 0; t < num_threads_; ++t) {
+        if (bits == 8) {
+          packed = c.u8();
+          bits = 0;
+        }
+        sr.states[std::size_t(t)] = std::uint8_t((packed >> bits) & 0x3);
+        bits += 2;
+      }
+      sink_.on_state(sr, unwrap_.feed(sr.clock32));
+    } else if (tag == kTagEvent) {
+      EventRecord er;
+      const std::uint8_t kind = c.u8();
+      if (kind < 1 || kind > 5) {
+        fail(strf("unknown event kind %u in trace line at offset %zu",
+                  unsigned(kind), line_offset));
+      }
+      er.kind = EventKind(kind);
+      er.thread = c.u8();
+      er.clock32 = c.u32();
+      er.value = c.u64();
+      sink_.on_event(er, unwrap_.feed(er.clock32));
+    } else {
+      fail(strf("bad record tag 0x%02X in trace line at offset %zu", tag,
+                line_offset));
+    }
+  }
+}
+
+void StreamingDecoder::feed(const std::uint8_t* data, std::size_t bytes) {
+  HLSPROF_CHECK(!finished_, "StreamingDecoder::feed after finish");
+  while (bytes > 0) {
+    if (carry_n_ > 0 || bytes < kLineBytes) {
+      const std::size_t take = std::min(kLineBytes - carry_n_, bytes);
+      std::memcpy(carry_.data() + carry_n_, data, take);
+      carry_n_ += take;
+      data += take;
+      bytes -= take;
+      if (carry_n_ == kLineBytes) {
+        decode_line(carry_.data(), consumed_);
+        consumed_ += kLineBytes;
+        carry_n_ = 0;
+      }
+    } else {
+      decode_line(data, consumed_);
+      consumed_ += kLineBytes;
+      data += kLineBytes;
+      bytes -= kLineBytes;
+    }
+  }
+}
+
+void StreamingDecoder::finish() {
+  if (carry_n_ != 0) {
+    fail(strf("torn final trace line: %zu stray bytes at offset %zu",
+              carry_n_, consumed_));
+  }
+  finished_ = true;
+}
+
+namespace {
+
+/// RecordSink that reassembles the batch DecodedTrace form.
+class CollectSink final : public RecordSink {
+ public:
+  explicit CollectSink(DecodedTrace& out) : out_(out) {}
+  void on_state(const StateRecord& r, cycle_t t) override {
+    out_.states.push_back(r);
+    out_.state_clocks.push_back(t);
+  }
+  void on_event(const EventRecord& r, cycle_t t) override {
+    out_.events.push_back(r);
+    out_.event_clocks.push_back(t);
+  }
+
+ private:
+  DecodedTrace& out_;
+};
+
+}  // namespace
+
+DecodedTrace decode_lines(const std::uint8_t* data, std::size_t bytes,
+                          int num_threads) {
+  HLSPROF_CHECK(bytes % kLineBytes == 0,
+                "trace region is not a whole number of lines");
+  DecodedTrace out;
+  CollectSink sink(out);
+  StreamingDecoder decoder(num_threads, sink);
+  decoder.feed(data, bytes);
+  decoder.finish();
+  return out;
+}
+
+}  // namespace hlsprof::trace

@@ -49,65 +49,80 @@ std::vector<std::pair<cycle_t, std::uint64_t>> TimedTrace::event_series(
   return {acc.begin(), acc.end()};
 }
 
-TimedTrace build_timed_trace(const DecodedTrace& decoded, int num_threads,
-                             cycle_t run_end, cycle_t sampling_period) {
-  TimedTrace out;
-  out.num_threads = num_threads;
-  out.sampling_period = decoded.events.empty() ? 0 : sampling_period;
-  out.thread_states.resize(std::size_t(num_threads));
+TimedTraceBuilder::TimedTraceBuilder(int num_threads, cycle_t sampling_period)
+    : num_threads_(num_threads),
+      sampling_period_(sampling_period),
+      cur_(std::size_t(num_threads), 0 /*idle*/),
+      since_(std::size_t(num_threads), 0) {
+  HLSPROF_CHECK(num_threads >= 1, "TimedTraceBuilder needs >= 1 thread");
+  out_.num_threads = num_threads;
+  out_.thread_states.resize(std::size_t(num_threads));
+}
 
+void TimedTraceBuilder::on_state(const StateRecord& r, cycle_t t) {
+  HLSPROF_CHECK(!finished_, "TimedTraceBuilder::on_state after finish");
+  HLSPROF_CHECK(static_cast<int>(r.states.size()) == num_threads_,
+                "state record thread count mismatch");
+  ++states_seen_;
   // State records carry the full state vector; build intervals per thread
   // by splitting at records where that thread's code changes.
-  std::vector<std::uint8_t> cur(std::size_t(num_threads), 0 /*idle*/);
-  std::vector<cycle_t> since(std::size_t(num_threads), 0);
-  bool have_any = false;
-  cycle_t first_clock = 0;
-
-  for (std::size_t i = 0; i < decoded.states.size(); ++i) {
-    const StateRecord& r = decoded.states[i];
-    const cycle_t t = decoded.state_clocks[i];
-    HLSPROF_CHECK(static_cast<int>(r.states.size()) == num_threads,
-                  "state record thread count mismatch");
-    if (!have_any) {
-      have_any = true;
-      first_clock = t;
-      for (int k = 0; k < num_threads; ++k) {
-        cur[std::size_t(k)] = r.states[std::size_t(k)];
-        since[std::size_t(k)] = t;
-      }
-      continue;
+  if (!have_any_) {
+    have_any_ = true;
+    first_clock_ = t;
+    for (int k = 0; k < num_threads_; ++k) {
+      cur_[std::size_t(k)] = r.states[std::size_t(k)];
+      since_[std::size_t(k)] = t;
     }
-    for (int k = 0; k < num_threads; ++k) {
-      if (r.states[std::size_t(k)] != cur[std::size_t(k)]) {
-        if (t > since[std::size_t(k)]) {
-          out.thread_states[std::size_t(k)].push_back(
-              StateInterval{sim::ThreadState(cur[std::size_t(k)]),
-                            since[std::size_t(k)], t});
-        }
-        cur[std::size_t(k)] = r.states[std::size_t(k)];
-        since[std::size_t(k)] = t;
+    return;
+  }
+  for (int k = 0; k < num_threads_; ++k) {
+    if (r.states[std::size_t(k)] != cur_[std::size_t(k)]) {
+      if (t > since_[std::size_t(k)]) {
+        out_.thread_states[std::size_t(k)].push_back(StateInterval{
+            sim::ThreadState(cur_[std::size_t(k)]), since_[std::size_t(k)],
+            t});
       }
+      cur_[std::size_t(k)] = r.states[std::size_t(k)];
+      since_[std::size_t(k)] = t;
     }
   }
-  const cycle_t end = std::max(run_end, have_any ? first_clock : 0);
-  if (have_any) {
-    for (int k = 0; k < num_threads; ++k) {
-      if (end > since[std::size_t(k)]) {
-        out.thread_states[std::size_t(k)].push_back(StateInterval{
-            sim::ThreadState(cur[std::size_t(k)]), since[std::size_t(k)],
+}
+
+void TimedTraceBuilder::on_event(const EventRecord& r, cycle_t t) {
+  HLSPROF_CHECK(!finished_, "TimedTraceBuilder::on_event after finish");
+  ++events_seen_;
+  out_.events.push_back(EventSample{r.kind, thread_id_t(r.thread), t,
+                                    r.value});
+}
+
+TimedTrace TimedTraceBuilder::finish(cycle_t run_end) {
+  HLSPROF_CHECK(!finished_, "TimedTraceBuilder::finish called twice");
+  finished_ = true;
+  const cycle_t end = std::max(run_end, have_any_ ? first_clock_ : 0);
+  if (have_any_) {
+    for (int k = 0; k < num_threads_; ++k) {
+      if (end > since_[std::size_t(k)]) {
+        out_.thread_states[std::size_t(k)].push_back(StateInterval{
+            sim::ThreadState(cur_[std::size_t(k)]), since_[std::size_t(k)],
             end});
       }
     }
   }
-  out.duration = end;
+  out_.duration = end;
+  out_.sampling_period = out_.events.empty() ? 0 : sampling_period_;
+  return std::move(out_);
+}
 
-  out.events.reserve(decoded.events.size());
-  for (std::size_t i = 0; i < decoded.events.size(); ++i) {
-    const EventRecord& r = decoded.events[i];
-    out.events.push_back(EventSample{r.kind, thread_id_t(r.thread),
-                                     decoded.event_clocks[i], r.value});
+TimedTrace build_timed_trace(const DecodedTrace& decoded, int num_threads,
+                             cycle_t run_end, cycle_t sampling_period) {
+  TimedTraceBuilder b(num_threads, sampling_period);
+  for (std::size_t i = 0; i < decoded.states.size(); ++i) {
+    b.on_state(decoded.states[i], decoded.state_clocks[i]);
   }
-  return out;
+  for (std::size_t i = 0; i < decoded.events.size(); ++i) {
+    b.on_event(decoded.events[i], decoded.event_clocks[i]);
+  }
+  return b.finish(run_end);
 }
 
 }  // namespace hlsprof::trace

@@ -9,6 +9,7 @@
 #include "common/types.hpp"
 #include "sim/hooks.hpp"
 #include "trace/records.hpp"
+#include "trace/streaming.hpp"
 
 namespace hlsprof::trace {
 
@@ -65,8 +66,45 @@ struct TimedTrace {
       EventKind kind) const;
 };
 
+/// Incremental timeline reconstruction: folds decoded records into state
+/// intervals and event samples as they arrive, so a streaming pipeline
+/// (StreamingDecoder → TimedTraceBuilder) never holds the raw record
+/// stream. Plugs directly into a StreamingDecoder as its RecordSink.
+/// Records must arrive in trace order; finish() closes the last interval
+/// of every thread at `run_end` and hands out the timeline.
+class TimedTraceBuilder final : public RecordSink {
+ public:
+  /// `sampling_period` is recorded in the result iff any event records
+  /// arrive (matching the batch builder).
+  TimedTraceBuilder(int num_threads, cycle_t sampling_period);
+
+  void on_state(const StateRecord& r, cycle_t t) override;
+  void on_event(const EventRecord& r, cycle_t t) override;
+
+  /// `run_end` clamps/extends the final state interval (the tracer knows
+  /// when the run finished). The builder is spent afterwards.
+  TimedTrace finish(cycle_t run_end);
+
+  long long states_seen() const { return states_seen_; }
+  long long events_seen() const { return events_seen_; }
+
+ private:
+  int num_threads_;
+  cycle_t sampling_period_;
+  TimedTrace out_;
+  std::vector<std::uint8_t> cur_;    // current 2-bit code per thread
+  std::vector<cycle_t> since_;       // open-interval start per thread
+  bool have_any_ = false;
+  cycle_t first_clock_ = 0;
+  bool finished_ = false;
+  long long states_seen_ = 0;
+  long long events_seen_ = 0;
+};
+
 /// Build the timeline from decoded records. `run_end` clamps/extends the
-/// final state interval (the tracer knows when the run finished).
+/// final state interval (the tracer knows when the run finished). Thin
+/// wrapper over TimedTraceBuilder, so batch and streaming reconstruction
+/// cannot diverge.
 TimedTrace build_timed_trace(const DecodedTrace& decoded, int num_threads,
                              cycle_t run_end, cycle_t sampling_period);
 

@@ -4,9 +4,11 @@
 
 #include "common/error.hpp"
 #include "core/hlsprof.hpp"
+#include "paraver/writer.hpp"
 #include "profiling/overhead.hpp"
 #include "profiling/unit.hpp"
 #include "workloads/gemm.hpp"
+#include "workloads/pi.hpp"
 #include "workloads/reference.hpp"
 #include "workloads/simple.hpp"
 
@@ -155,11 +157,52 @@ TEST(ProfilingFlush, SmallerBufferFlushesMoreOften) {
   EXPECT_GT(rs.flush_bursts, rb.flush_bursts);
 }
 
-TEST(ProfilingFlush, TraceRegionOverflowDiagnosed) {
+TEST(ProfilingFlush, TraceRegionOverflowDiagnosedWithoutSink) {
+  // Batch mode (no streaming sink): the whole trace must stay resident
+  // for the post-run decode, so a tiny region overflows.
+  hls::Design d = hls::compile(workloads::dot(240, 4));
+  sim::Simulator s(d, fast_opts().sim);
+  ProfilingConfig cfg = fast_opts().profiling;
+  cfg.sampling_period = 16;     // huge record volume
+  cfg.trace_region_bytes = 512;  // tiny region
+  ProfilingUnit unit(d, cfg, s.memory());
+  auto x = workloads::random_vector(240, 3);
+  auto y = workloads::random_vector(240, 4);
+  std::vector<float> out(1, 0.0f);
+  s.bind_f32("x", x);
+  s.bind_f32("y", y);
+  s.bind_f32("out", out);
+  EXPECT_THROW(s.run(&unit), Error);
+}
+
+TEST(ProfilingFlush, StreamingSinkMakesTinyRegionARing) {
+  // Session streams each flush burst through the decoder, so the DRAM
+  // region wraps instead of overflowing and the run that used to die with
+  // "trace region overflow" completes with a full timeline.
   core::RunOptions o = fast_opts();
   o.profiling.sampling_period = 16;     // huge record volume
-  o.profiling.trace_region_bytes = 512;  // tiny region
-  EXPECT_THROW(run_dot(4, o), Error);
+  o.profiling.trace_region_bytes = 512;  // tiny region — now a ring
+  const auto r = run_dot(4, o);
+  ASSERT_TRUE(r.has_trace);
+  EXPECT_GT(r.trace_bytes, o.profiling.trace_region_bytes);
+  EXPECT_EQ(r.timeline.num_threads, 4);
+  EXPECT_GT(r.timeline.duration, 0u);
+  EXPECT_GT(r.timeline.state_cycles(ThreadState::running), 0u);
+}
+
+TEST(ProfilingFlush, PeakTraceBufferBoundedByBurstSize) {
+  // Peak host-side trace residency is O(flush burst), not O(run): it can
+  // never exceed the on-chip buffer capacity, however big the trace got.
+  core::RunOptions o = fast_opts();
+  o.profiling.buffer_lines = 8;
+  o.profiling.flush_headroom_lines = 2;
+  const auto r = run_dot(4, o, 960);
+  ASSERT_TRUE(r.has_trace);
+  EXPECT_GT(r.peak_trace_buffer_bytes, 0u);
+  EXPECT_LE(r.peak_trace_buffer_bytes,
+            std::size_t(o.profiling.buffer_lines) * trace::kLineBytes);
+  // The bound is burst-sized even though the whole trace is much bigger.
+  EXPECT_GT(r.trace_bytes, r.peak_trace_buffer_bytes);
 }
 
 TEST(ProfilingFlush, TraceBytesAreWholeLines) {
@@ -231,6 +274,52 @@ TEST(ProfilingRoundTrip, PerturbationIsBoundedButTrafficReal) {
       double(rc.sim.kernel_cycles);
   EXPECT_LT(delta, 0.02);
   EXPECT_GT(rt.sim.dram_writes, rc.sim.dram_writes);
+}
+
+// ---- streaming pipeline vs post-run batch decode -------------------------------------
+
+// The acceptance bar for the streaming pipeline: the timeline it builds
+// burst-by-burst must render byte-identical Paraver files to the pre-change
+// batch path (read the whole DRAM trace region after the run, decode, then
+// reconstruct). Exercised on the paper's two case-study kernels.
+void expect_stream_equals_batch(core::Session& s, core::RunResult r) {
+  ASSERT_TRUE(r.has_trace);
+  // Rebuild the timeline the old way: whole-region DRAM read-back.
+  trace::TimedTrace batch = s.unit()->timeline();
+  for (const sim::HostTransfer& t : r.sim.transfers) {
+    batch.comms.push_back(trace::CommRecord{
+        0, t.begin, t.end, t.bytes,
+        t.to_device ? trace::kCommTagToDevice : trace::kCommTagFromDevice});
+  }
+  const auto stream_files = paraver::to_paraver(r.timeline, "stream");
+  const auto batch_files = paraver::to_paraver(batch, "stream");
+  EXPECT_EQ(stream_files.prv, batch_files.prv);
+  EXPECT_EQ(stream_files.pcf, batch_files.pcf);
+  EXPECT_EQ(stream_files.row, batch_files.row);
+}
+
+TEST(ProfilingStreaming, GemmParaverByteIdenticalToBatchDecode) {
+  workloads::GemmConfig cfg;
+  cfg.dim = 16;
+  core::Session s(core::compile(workloads::gemm_naive(cfg)), fast_opts());
+  auto a = workloads::random_matrix(cfg.dim, 11);
+  auto b = workloads::random_matrix(cfg.dim, 22);
+  std::vector<float> c(std::size_t(cfg.dim) * std::size_t(cfg.dim), 0.0f);
+  s.sim().bind_f32("A", a);
+  s.sim().bind_f32("B", b);
+  s.sim().bind_f32("C", c);
+  expect_stream_equals_batch(s, s.run());
+}
+
+TEST(ProfilingStreaming, PiParaverByteIdenticalToBatchDecode) {
+  workloads::PiConfig cfg;
+  cfg.steps = 4096;
+  core::Session s(core::compile(workloads::pi_series(cfg)), fast_opts());
+  std::vector<float> out(1, 0.0f);
+  s.sim().bind_f32("out", out);
+  s.sim().set_arg("steps", std::int64_t(cfg.steps));
+  s.sim().set_arg("inv_steps", 1.0 / double(cfg.steps));
+  expect_stream_equals_batch(s, s.run());
 }
 
 // ---- overhead model ------------------------------------------------------------------

@@ -299,6 +299,24 @@ TEST(RunnerReport, CsvHasHeaderAndOneRowPerJob) {
   EXPECT_EQ(lines, 3) << csv;  // header + 2 rows
   EXPECT_EQ(csv.rfind("index,name,", 0), 0u)
       << "header must lead with index,name";
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_NE(header.find(",trace_bytes,peak_trace_buffer_bytes,"),
+            std::string::npos)
+      << header;
+}
+
+TEST(RunnerReport, PeakTraceBufferBoundedByProfilingBuffer) {
+  runner::Batch batch;
+  runner::JobSpec spec = vecadd_job(256);
+  spec.run.profiling.buffer_lines = 4;
+  spec.run.profiling.flush_headroom_lines = 1;
+  batch.add(std::move(spec));
+  const runner::BatchResult r = batch.run();
+  ASSERT_EQ(r.jobs.size(), 1u);
+  ASSERT_EQ(r.jobs[0].status, runner::JobStatus::ok) << r.jobs[0].error;
+  EXPECT_GT(r.jobs[0].peak_trace_buffer_bytes, 0u);
+  EXPECT_LE(r.jobs[0].peak_trace_buffer_bytes, 4 * trace::kLineBytes);
+  EXPECT_GE(r.jobs[0].trace_bytes, r.jobs[0].peak_trace_buffer_bytes);
 }
 
 // ---- manifests -------------------------------------------------------------
