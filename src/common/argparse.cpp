@@ -1,0 +1,122 @@
+#include "common/argparse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace hlsprof {
+
+ArgParser& ArgParser::flag(std::string name, bool* out, std::string help) {
+  Spec s;
+  s.name = std::move(name);
+  s.kind = Kind::boolean;
+  s.bool_out = out;
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
+ArgParser& ArgParser::option(std::string name, std::string* out,
+                             std::string help) {
+  Spec s;
+  s.name = std::move(name);
+  s.kind = Kind::string;
+  s.str_out = out;
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
+ArgParser& ArgParser::option_int(std::string name, long long* out,
+                                 std::string help) {
+  Spec s;
+  s.name = std::move(name);
+  s.kind = Kind::integer;
+  s.int_out = out;
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  positionals_.clear();
+  error_.clear();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() < 2 || arg[0] != '-' || arg[1] != '-') {
+      // A bare "-" or "-x" is rejected rather than treated as a
+      // positional: single-dash flags are not part of the grammar and a
+      // typo like "-json" must not silently become a manifest path.
+      if (!arg.empty() && arg[0] == '-') {
+        error_ = "unknown flag: " + arg;
+        return false;
+      }
+      positionals_.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      error_ = "unknown flag: " + arg;
+      return false;
+    }
+    if (spec->kind == Kind::boolean) {
+      if (eq != std::string::npos) {
+        error_ = "flag --" + name + " takes no value";
+        return false;
+      }
+      *spec->bool_out = true;
+      continue;
+    }
+    if (eq == std::string::npos) {
+      error_ = "flag --" + name + " requires =VALUE";
+      return false;
+    }
+    const std::string value = arg.substr(eq + 1);
+    if (spec->kind == Kind::string) {
+      if (value.empty()) {
+        error_ = "flag --" + name + " requires a non-empty value";
+        return false;
+      }
+      *spec->str_out = value;
+      continue;
+    }
+    // Strict integer: whole value must be consumed, no empty string, no
+    // leading whitespace (strtoll would silently skip it).
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() ||
+        std::isspace(static_cast<unsigned char>(value.front())) ||
+        end != value.c_str() + value.size() || errno != 0) {
+      error_ = "flag --" + name + " needs an integer, got '" + value + "'";
+      return false;
+    }
+    *spec->int_out = v;
+  }
+  return true;
+}
+
+std::string ArgParser::help_text() const {
+  std::string out;
+  for (const Spec& s : specs_) {
+    std::string left = "  --" + s.name;
+    if (s.kind == Kind::string) left += "=VALUE";
+    if (s.kind == Kind::integer) left += "=N";
+    while (left.size() < 26) left += ' ';
+    out += left + s.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace hlsprof

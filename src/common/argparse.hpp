@@ -1,0 +1,53 @@
+// Strict flag parsing for the CLI tools. Flags are declared up front;
+// anything unrecognized, a value flag missing its `=value`, or a
+// malformed integer is a hard error (parse() returns false with a
+// message) instead of being silently ignored — exit nonzero with usage
+// is the caller's contract. Supported shapes: `--name` (bool) and
+// `--name=value` (string / strict integer); everything else is a
+// positional argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlsprof {
+
+class ArgParser {
+ public:
+  /// `--name` presence flag.
+  ArgParser& flag(std::string name, bool* out, std::string help);
+  /// `--name=VALUE` string option.
+  ArgParser& option(std::string name, std::string* out, std::string help);
+  /// `--name=N` strict base-10 integer option: the whole value must
+  /// parse (sign allowed), else parse() fails.
+  ArgParser& option_int(std::string name, long long* out, std::string help);
+
+  /// Parse argv[1..). Returns false on the first error; error() then
+  /// holds a one-line description naming the offending argument.
+  bool parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  const std::string& error() const { return error_; }
+
+  /// Formatted flag list (one "  --name  help" line per declared flag),
+  /// for usage messages.
+  std::string help_text() const;
+
+ private:
+  enum class Kind { boolean, string, integer };
+  struct Spec {
+    std::string name;
+    Kind kind;
+    bool* bool_out = nullptr;
+    std::string* str_out = nullptr;
+    long long* int_out = nullptr;
+    std::string help;
+  };
+  const Spec* find(const std::string& name) const;
+
+  std::vector<Spec> specs_;
+  std::vector<std::string> positionals_;
+  std::string error_;
+};
+
+}  // namespace hlsprof

@@ -1,0 +1,51 @@
+#include "common/build_info.hpp"
+
+#include "common/strings.hpp"
+
+// CMake passes the authoritative values; the fallbacks keep non-CMake
+// builds (e.g. IDE single-file checks) compiling.
+#ifndef HLSPROF_VERSION
+#define HLSPROF_VERSION "unknown"
+#endif
+#ifndef HLSPROF_BUILD_TYPE
+#define HLSPROF_BUILD_TYPE "unknown"
+#endif
+#ifndef HLSPROF_COMPILER_ID
+#if defined(__clang__)
+#define HLSPROF_COMPILER_ID "Clang " __clang_version__
+#elif defined(__GNUC__)
+#define HLSPROF_COMPILER_ID "GNU " __VERSION__
+#else
+#define HLSPROF_COMPILER_ID "unknown"
+#endif
+#endif
+
+namespace hlsprof {
+
+namespace {
+
+const char* cxx_standard_name() {
+#if __cplusplus > 202002L
+  return "C++23";
+#elif __cplusplus == 202002L
+  return "C++20";
+#else
+  return "pre-C++20";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{HLSPROF_VERSION, HLSPROF_BUILD_TYPE,
+                              HLSPROF_COMPILER_ID, cxx_standard_name()};
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo& b = build_info();
+  return strf("hlsprof %s (%s, %s, %s)", b.version, b.build_type, b.compiler,
+              b.cxx_standard);
+}
+
+}  // namespace hlsprof

@@ -1,0 +1,24 @@
+// Build attribution stamp: version, build type, and compiler identity,
+// burned in at compile time. Printed by `hlsprof-run --version` and
+// embedded in telemetry snapshots so archived runs record exactly what
+// produced them.
+#pragma once
+
+#include <string>
+
+namespace hlsprof {
+
+struct BuildInfo {
+  const char* version;       // e.g. "0.3.0"
+  const char* build_type;    // e.g. "RelWithDebInfo"
+  const char* compiler;      // e.g. "GNU 12.2.0"
+  const char* cxx_standard;  // e.g. "C++20"
+};
+
+/// The stamp for this binary (static storage; never changes at runtime).
+const BuildInfo& build_info();
+
+/// One-line form: "hlsprof <version> (<build_type>, <compiler>, <std>)".
+std::string build_info_string();
+
+}  // namespace hlsprof

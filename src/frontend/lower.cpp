@@ -7,6 +7,7 @@
 #include "common/strings.hpp"
 #include "frontend/parser.hpp"
 #include "ir/builder.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::frontend {
 
@@ -379,6 +380,8 @@ class Lowerer {
 }  // namespace
 
 ir::Kernel lower(const KernelFn& fn, const LowerOptions& options) {
+  telemetry::Span span(telemetry::Registry::global(), "frontend.lower",
+                       "frontend");
   return Lowerer(fn, options).run();
 }
 

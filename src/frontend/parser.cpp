@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "frontend/lexer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::frontend {
 
@@ -518,6 +519,8 @@ class Parser {
 }  // namespace ast
 
 ast::KernelFn parse(const std::string& source) {
+  telemetry::Span span(telemetry::Registry::global(), "frontend.parse",
+                       "frontend");
   return ast::Parser(lex(source)).run();
 }
 

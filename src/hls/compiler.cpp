@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "hls/scheduler.hpp"
 #include "ir/verifier.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::hls {
 
@@ -37,22 +38,32 @@ class CompileDriver {
   }
 
   Design run() {
+    auto& reg = telemetry::Registry::global();
     const Kernel& k = d_.kernel;
-    ir::verify(k);
-
-    d_.op_latency.resize(k.ops.size(), 0);
-    d_.op_start.resize(k.ops.size(), 0);
-    for (std::size_t i = 0; i < k.ops.size(); ++i) {
-      d_.op_latency[i] =
-          d_.options.lib.latency(k.ops[i].opcode, k.ops[i].type);
+    {
+      telemetry::Span span(reg, "hls.verify", "hls");
+      ir::verify(k);
     }
 
-    d_.loops.resize(static_cast<std::size_t>(k.num_loops));
-    visit_region(k.body);
+    {
+      telemetry::Span span(reg, "hls.schedule", "hls");
+      d_.op_latency.resize(k.ops.size(), 0);
+      d_.op_start.resize(k.ops.size(), 0);
+      for (std::size_t i = 0; i < k.ops.size(); ++i) {
+        d_.op_latency[i] =
+            d_.options.lib.latency(k.ops[i].opcode, k.ops[i].type);
+      }
 
-    finalize_stats();
-    estimate_area();
-    d_.fmax_mhz = d_.options.fmax.estimate(d_.area, d_.stats.bus_ports);
+      d_.loops.resize(static_cast<std::size_t>(k.num_loops));
+      visit_region(k.body);
+    }
+
+    {
+      telemetry::Span span(reg, "hls.area", "hls");
+      finalize_stats();
+      estimate_area();
+      d_.fmax_mhz = d_.options.fmax.estimate(d_.area, d_.stats.bus_ports);
+    }
     return std::move(d_);
   }
 
@@ -200,7 +211,19 @@ class CompileDriver {
 }  // namespace
 
 Design compile(Kernel kernel, const HlsOptions& options) {
-  return CompileDriver(std::move(kernel), options).run();
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) {
+    return CompileDriver(std::move(kernel), options).run();
+  }
+  telemetry::Span span(reg, "hls.compile", "hls");
+  const std::uint64_t t0 = reg.now_us();
+  Design d = CompileDriver(std::move(kernel), options).run();
+  const std::uint64_t us = reg.now_us() - t0;
+  reg.counter("hls.compiles").add(1);
+  reg.counter("hls.compile_us", "us").add(static_cast<long long>(us));
+  reg.histogram("hls.compile_ms", telemetry::exp_bounds(0.25, 2.0, 14), "ms")
+      .observe(double(us) / 1e3);
+  return d;
 }
 
 const LoopInfo& Design::loop(int id) const {

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "paraver/analysis.hpp"
 #include "runner/pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::runner {
 
@@ -53,6 +54,8 @@ void fill_metrics(JobResult& out, const core::Session& session,
 
 JobResult run_job(const JobSpec& spec, int index, std::uint64_t seed,
                   DesignCache& cache) {
+  auto& reg = telemetry::Registry::global();
+  telemetry::Span span(reg, "job:" + spec.name, "runner");
   JobResult out;
   out.index = index;
   out.name = spec.name;
@@ -92,6 +95,12 @@ JobResult run_job(const JobSpec& spec, int index, std::uint64_t seed,
     out.status = JobStatus::timed_out;
     out.error = "exceeded soft wall-clock budget";
   }
+  if (reg.enabled()) {
+    reg.counter("runner.jobs").add(1);
+    if (out.status != JobStatus::ok) reg.counter("runner.jobs_failed").add(1);
+    reg.histogram("runner.job_ms", telemetry::exp_bounds(1.0, 2.0, 16), "ms")
+        .observe(out.wall_ms);
+  }
   return out;
 }
 
@@ -125,9 +134,14 @@ std::uint64_t Batch::job_seed(std::uint64_t base, int index) {
 }
 
 BatchResult Batch::run(const BatchOptions& options) const {
+  auto& reg = telemetry::Registry::global();
+  telemetry::Span batch_span(reg, "batch.run", "runner");
   BatchResult result;
   result.jobs.resize(jobs_.size());
   result.workers = Pool::resolve_workers(options.workers);
+  if (reg.enabled()) {
+    reg.gauge("runner.workers", "threads").set(double(result.workers));
+  }
 
   DesignCache local_cache;
   DesignCache& cache = options.cache != nullptr ? *options.cache : local_cache;

@@ -1,9 +1,11 @@
 #include "runner/design_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "common/hash.hpp"
 #include "ir/printer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::runner {
 
@@ -50,6 +52,25 @@ void hash_options(Fnv1a64& h, const hls::HlsOptions& o) {
   h.boolean(o.enable_preloader).boolean(o.thread_reordering);
 }
 
+/// Cache telemetry handles, resolved once per process. These aggregate
+/// over every DesignCache instance (the registry is process-wide).
+struct CacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& singleflight_waits;
+  telemetry::Counter& compile_us_saved;
+  static CacheMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static CacheMetrics m{
+        reg.counter("cache.hits"),
+        reg.counter("cache.misses"),
+        reg.counter("cache.singleflight_waits"),
+        reg.counter("cache.compile_us_saved", "us"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 std::uint64_t DesignCache::key_of(const ir::Kernel& kernel,
@@ -66,6 +87,7 @@ std::uint64_t DesignCache::key_of(const ir::Kernel& kernel,
 
 DesignCache::Entry DesignCache::get_or_compile(
     ir::Kernel kernel, const hls::HlsOptions& options) {
+  auto& reg = telemetry::Registry::global();
   Entry entry;
   entry.key = key_of(kernel, options);
 
@@ -88,9 +110,16 @@ DesignCache::Entry DesignCache::get_or_compile(
   }
 
   if (compile_here) {
+    if (reg.enabled()) CacheMetrics::get().misses.add(1);
     try {
+      telemetry::Span span(reg, "cache.compile", "runner");
+      const std::uint64_t t0 = reg.enabled() ? reg.now_us() : 0;
       promise.set_value(std::make_shared<const hls::Design>(
           hls::compile(std::move(kernel), options)));
+      if (reg.enabled()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        compile_us_[entry.key] = reg.now_us() - t0;
+      }
     } catch (...) {
       promise.set_exception(std::current_exception());
       {
@@ -99,9 +128,27 @@ DesignCache::Entry DesignCache::get_or_compile(
       }
       future.get();  // rethrow for this caller
     }
+  } else if (reg.enabled()) {
+    CacheMetrics& m = CacheMetrics::get();
+    m.hits.add(1);
+    // A hit whose compile is still in flight: this caller blocks on the
+    // one compile instead of duplicating it (the single-flight path).
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      m.singleflight_waits.add(1);
+    }
   }
 
   entry.design = future.get();  // waits for / rethrows an in-flight compile
+
+  if (entry.hit && reg.enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = compile_us_.find(entry.key);
+    if (it != compile_us_.end()) {
+      CacheMetrics::get().compile_us_saved.add(
+          static_cast<long long>(it->second));
+    }
+  }
   return entry;
 }
 
@@ -118,6 +165,7 @@ std::size_t DesignCache::size() const {
 void DesignCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  compile_us_.clear();
   stats_ = CacheStats{};
 }
 

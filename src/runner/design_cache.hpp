@@ -51,6 +51,9 @@ class DesignCache {
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Future> map_;
+  /// Wall-clock cost of each performed compile (telemetry only): a later
+  /// hit on the key credits this much to cache.compile_us_saved.
+  std::unordered_map<std::uint64_t, std::uint64_t> compile_us_;
   CacheStats stats_;
 };
 

@@ -2,9 +2,14 @@
 // FIFO queue, submit/wait, clean shutdown in the destructor. Jobs are
 // opaque thunks — exception capture and result routing are the Batch
 // layer's responsibility (a worker never dies from a throwing job).
+//
+// When the telemetry registry is enabled the pool reports queue-wait and
+// task-latency histograms, worker busy time, and a jobs-in-flight gauge,
+// and binds each worker thread to its own span track ("worker-<i>").
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -38,12 +43,19 @@ class Pool {
   static int resolve_workers(int requested);
 
  private:
-  void worker_loop();
+  struct Item {
+    std::function<void()> task;
+    /// Telemetry enqueue stamp (µs since registry epoch); 0 = telemetry
+    /// was disabled at submit time, skip the queue-wait observation.
+    std::uint64_t enq_us = 0;
+  };
+
+  void worker_loop(int index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks
   std::condition_variable idle_cv_;   // wait() waits for drain
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   int active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;

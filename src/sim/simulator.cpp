@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::sim {
 
@@ -171,6 +172,13 @@ void Simulator::advance(thread_id_t tid, SimHooks* hooks) {
 }
 
 SimResult Simulator::run(SimHooks* hooks) {
+  // Telemetry observes the host cost of the run (coarse, per-run only —
+  // nothing inside the event loop); simulated results are untouched.
+  auto& reg = telemetry::Registry::global();
+  telemetry::Span span(reg, "sim.run", "sim");
+  const bool telemetry_on = reg.enabled();
+  const std::uint64_t host_t0 = telemetry_on ? reg.now_us() : 0;
+
   const auto& k = d_.kernel;
   const int T = k.num_threads;
 
@@ -330,6 +338,18 @@ SimResult Simulator::run(SimHooks* hooks) {
   const long long accesses = mem_.row_hits() + mem_.row_misses();
   result.row_hit_rate =
       accesses == 0 ? 0.0 : double(mem_.row_hits()) / double(accesses);
+
+  if (telemetry_on) {
+    const std::uint64_t host_us = reg.now_us() - host_t0;
+    reg.counter("sim.runs").add(1);
+    reg.counter("sim.cycles", "cycles")
+        .add(static_cast<long long>(result.total_cycles));
+    reg.counter("sim.host_us", "us").add(static_cast<long long>(host_us));
+    if (host_us > 0) {
+      reg.gauge("sim.cycles_per_sec", "cycles/s")
+          .set(double(result.total_cycles) / (double(host_us) / 1e6));
+    }
+  }
   return result;
 }
 

@@ -5,10 +5,30 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hlsprof::trace {
 
 namespace {
+
+/// Decoder telemetry handles, resolved once per process (the registry
+/// hands out stable references). Mutation is a no-op while disabled.
+struct DecoderMetrics {
+  telemetry::Counter& bytes_in;
+  telemetry::Counter& records_out;
+  telemetry::Counter& carry_events;
+  telemetry::Counter& flush_bursts;
+  static DecoderMetrics& get() {
+    auto& reg = telemetry::Registry::global();
+    static DecoderMetrics m{
+        reg.counter("trace.bytes_in", "bytes"),
+        reg.counter("trace.records_out", "records"),
+        reg.counter("trace.carry_events"),
+        reg.counter("trace.flush_bursts"),
+    };
+    return m;
+  }
+};
 
 /// Bounds-checked byte reader over one line; errors carry the line's
 /// absolute offset in the stream.
@@ -57,8 +77,8 @@ StreamingDecoder::StreamingDecoder(int num_threads, RecordSink& sink)
                 "StreamingDecoder thread count out of range");
 }
 
-void StreamingDecoder::decode_line(const std::uint8_t* line,
-                                   std::size_t line_offset) {
+int StreamingDecoder::decode_line(const std::uint8_t* line,
+                                  std::size_t line_offset) {
   Cursor c(line, kLineBytes, line_offset);
   const int count = c.u8();
   if (count > max_records_) {
@@ -100,10 +120,14 @@ void StreamingDecoder::decode_line(const std::uint8_t* line,
                 line_offset));
     }
   }
+  return count;
 }
 
 void StreamingDecoder::feed(const std::uint8_t* data, std::size_t bytes) {
   HLSPROF_CHECK(!finished_, "StreamingDecoder::feed after finish");
+  const bool telemetry_on = telemetry::Registry::global().enabled();
+  const std::size_t fed = bytes;
+  long long records = 0;
   while (bytes > 0) {
     if (carry_n_ > 0 || bytes < kLineBytes) {
       const std::size_t take = std::min(kLineBytes - carry_n_, bytes);
@@ -112,17 +136,32 @@ void StreamingDecoder::feed(const std::uint8_t* data, std::size_t bytes) {
       data += take;
       bytes -= take;
       if (carry_n_ == kLineBytes) {
-        decode_line(carry_.data(), consumed_);
+        records += decode_line(carry_.data(), consumed_);
         consumed_ += kLineBytes;
         carry_n_ = 0;
       }
     } else {
-      decode_line(data, consumed_);
+      records += decode_line(data, consumed_);
       consumed_ += kLineBytes;
       data += kLineBytes;
       bytes -= kLineBytes;
     }
   }
+  if (telemetry_on) {
+    DecoderMetrics& m = DecoderMetrics::get();
+    m.bytes_in.add(static_cast<long long>(fed));
+    m.records_out.add(records);
+    // A partial line survived this feed — the next chunk must reassemble
+    // it via the carry buffer.
+    if (carry_n_ > 0) m.carry_events.add(1);
+  }
+}
+
+void StreamingDecoder::on_burst(const std::uint8_t* data, std::size_t bytes) {
+  if (telemetry::Registry::global().enabled()) {
+    DecoderMetrics::get().flush_bursts.add(1);
+  }
+  feed(data, bytes);
 }
 
 void StreamingDecoder::finish() {

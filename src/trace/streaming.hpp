@@ -64,9 +64,9 @@ class StreamingDecoder final : public FlushSink {
   /// Throws Error on malformed framing, naming the line's byte offset.
   void feed(const std::uint8_t* data, std::size_t bytes);
 
-  void on_burst(const std::uint8_t* data, std::size_t bytes) override {
-    feed(data, bytes);
-  }
+  /// feed() plus a flush-burst telemetry tick (one per profiling-unit
+  /// flush that reached the host pipeline).
+  void on_burst(const std::uint8_t* data, std::size_t bytes) override;
 
   /// End of stream. Throws Error if a partial line is still buffered
   /// (torn final line).
@@ -87,7 +87,8 @@ class StreamingDecoder final : public FlushSink {
   bool finished() const { return finished_; }
 
  private:
-  void decode_line(const std::uint8_t* line, std::size_t line_offset);
+  /// Returns the number of records the line held.
+  int decode_line(const std::uint8_t* line, std::size_t line_offset);
 
   int num_threads_;
   int max_records_;

@@ -1,0 +1,123 @@
+// Tests for the strict CLI flag parser (src/common/argparse): declared
+// flags parse, everything malformed is a hard error with a useful
+// message, and positionals pass through untouched.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+
+namespace hlsprof {
+namespace {
+
+struct Parsed {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> positionals;
+  bool verbose = false;
+  std::string out;
+  long long workers = -1;
+};
+
+Parsed run(std::vector<const char*> argv_tail) {
+  Parsed p;
+  ArgParser parser;
+  parser.flag("verbose", &p.verbose, "chatty output")
+      .option("out", &p.out, "output prefix")
+      .option_int("workers", &p.workers, "worker count");
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  p.ok = parser.parse(int(argv.size()), argv.data());
+  p.error = parser.error();
+  p.positionals = parser.positionals();
+  return p;
+}
+
+TEST(ArgParse, ParsesDeclaredFlagsAndPositionals) {
+  const Parsed p =
+      run({"input.manifest", "--verbose", "--out=/tmp/x", "--workers=8"});
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.verbose);
+  EXPECT_EQ(p.out, "/tmp/x");
+  EXPECT_EQ(p.workers, 8);
+  ASSERT_EQ(p.positionals.size(), 1u);
+  EXPECT_EQ(p.positionals[0], "input.manifest");
+}
+
+TEST(ArgParse, DefaultsSurviveWhenFlagsAbsent) {
+  const Parsed p = run({"only.manifest"});
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_FALSE(p.verbose);
+  EXPECT_EQ(p.out, "");
+  EXPECT_EQ(p.workers, -1);
+}
+
+TEST(ArgParse, NegativeIntegerParses) {
+  const Parsed p = run({"--workers=-2"});
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.workers, -2);
+}
+
+TEST(ArgParse, UnknownFlagIsError) {
+  const Parsed p = run({"--bogus"});
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--bogus"), std::string::npos);
+}
+
+TEST(ArgParse, UnknownValueFlagIsError) {
+  const Parsed p = run({"--bogus=3"});
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--bogus"), std::string::npos);
+}
+
+TEST(ArgParse, BoolFlagWithValueIsError) {
+  const Parsed p = run({"--verbose=yes"});
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--verbose"), std::string::npos);
+}
+
+TEST(ArgParse, ValueFlagWithoutValueIsError) {
+  const Parsed p = run({"--out"});
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--out"), std::string::npos);
+}
+
+TEST(ArgParse, EmptyValueIsError) {
+  const Parsed p = run({"--out="});
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--out"), std::string::npos);
+}
+
+TEST(ArgParse, MalformedIntegerIsError) {
+  for (const char* bad : {"--workers=four", "--workers=4x", "--workers=4.5",
+                          "--workers= 4", "--workers=+"}) {
+    const Parsed p = run({bad});
+    EXPECT_FALSE(p.ok) << bad;
+    EXPECT_NE(p.error.find("--workers"), std::string::npos) << bad;
+  }
+}
+
+TEST(ArgParse, SingleDashIsError) {
+  const Parsed p = run({"-v"});
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("-v"), std::string::npos);
+}
+
+TEST(ArgParse, HelpTextListsEveryFlag) {
+  bool b = false;
+  std::string s;
+  long long n = 0;
+  ArgParser parser;
+  parser.flag("alpha", &b, "first").option("beta", &s, "second").option_int(
+      "gamma", &n, "third");
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("--alpha"), std::string::npos);
+  EXPECT_NE(help.find("--beta=VALUE"), std::string::npos);
+  EXPECT_NE(help.find("--gamma=N"), std::string::npos);
+  EXPECT_NE(help.find("first"), std::string::npos);
+  EXPECT_NE(help.find("third"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsprof

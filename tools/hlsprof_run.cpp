@@ -2,78 +2,103 @@
 //
 //   hlsprof-run sweep.manifest [--workers=N] [--out=PREFIX] [--seed=S]
 //                              [--canonical] [--json] [--quiet]
+//                              [--telemetry-out=FILE] [--chrome-trace=FILE]
+//                              [--version] [--help]
 //
-//   --workers=N    override the manifest's worker count (0 = one per core)
-//   --out=PREFIX   write PREFIX.json + PREFIX.csv (overrides manifest `out`)
-//   --seed=S       override the manifest's batch seed
-//   --canonical    deterministic report: omit wall-clock + per-job cache_hit
-//   --json         print the JSON report to stdout
-//   --quiet        suppress the summary table
+//   --workers=N          override the manifest's worker count (0 = one per
+//                        core)
+//   --out=PREFIX         write PREFIX.json + PREFIX.csv (overrides manifest
+//                        `out`)
+//   --seed=S             override the manifest's batch seed
+//   --canonical          deterministic report: omit wall-clock + per-job
+//                        cache_hit
+//   --json               print the JSON report to stdout
+//   --quiet              suppress the summary table
+//   --telemetry-out=FILE enable host telemetry; write the metrics snapshot
+//                        JSON (schema "hlsprof-telemetry") to FILE
+//   --chrome-trace=FILE  enable host telemetry; write a Chrome trace-event
+//                        JSON (open in Perfetto / chrome://tracing)
+//   --version            print the build stamp and exit
+//
+// Telemetry is a sidecar: canonical report bytes are identical with it on
+// or off. With --out and telemetry enabled, PREFIX.telemetry.json is also
+// written next to the report.
 //
 // Exit status: 0 if every job finished ok, 1 if any job failed or timed
-// out, 2 on usage/manifest errors.
+// out, 2 on usage/manifest errors (including unknown or malformed flags).
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <string>
 
+#include "common/argparse.hpp"
+#include "common/build_info.hpp"
 #include "runner/runner.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace hlsprof;
 
 namespace {
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <manifest> [--workers=N] [--out=PREFIX] [--seed=S]"
-               " [--canonical] [--json] [--quiet]\n",
-               argv0);
+int usage(const ArgParser& parser, std::FILE* to) {
+  std::fputs("usage: hlsprof-run <manifest> [flags]\n", to);
+  std::fputs(parser.help_text().c_str(), to);
   return 2;
-}
-
-bool parse_flag(const std::string& arg, const char* name, std::string* value) {
-  const std::string prefix = std::string("--") + name + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  *value = arg.substr(prefix.size());
-  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string manifest_path;
   std::string out_override;
-  std::string value;
-  int workers_override = -1;
+  std::string telemetry_out;
+  std::string chrome_trace;
+  long long workers_override = -1;
   long long seed_override = -1;
   bool canonical = false;
   bool print_json = false;
   bool quiet = false;
+  bool version = false;
+  bool help = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--canonical") {
-      canonical = true;
-    } else if (arg == "--json") {
-      print_json = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (parse_flag(arg, "workers", &value)) {
-      workers_override = std::atoi(value.c_str());
-    } else if (parse_flag(arg, "seed", &value)) {
-      seed_override = std::atoll(value.c_str());
-    } else if (parse_flag(arg, "out", &value)) {
-      out_override = value;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return usage(argv[0]);
-    } else if (manifest_path.empty()) {
-      manifest_path = arg;
-    } else {
-      return usage(argv[0]);
-    }
+  ArgParser parser;
+  parser
+      .option_int("workers", &workers_override,
+                  "override the manifest's worker count (0 = one per core)")
+      .option("out", &out_override,
+              "write VALUE.json + VALUE.csv (overrides manifest `out`)")
+      .option_int("seed", &seed_override, "override the manifest's batch seed")
+      .flag("canonical", &canonical,
+            "deterministic report: omit wall-clock + per-job cache_hit")
+      .flag("json", &print_json, "print the JSON report to stdout")
+      .flag("quiet", &quiet, "suppress the summary table")
+      .option("telemetry-out", &telemetry_out,
+              "enable telemetry; write the metrics snapshot JSON here")
+      .option("chrome-trace", &chrome_trace,
+              "enable telemetry; write Chrome trace-event JSON here")
+      .flag("version", &version, "print the build stamp and exit")
+      .flag("help", &help, "show this help");
+
+  if (!parser.parse(argc, argv)) {
+    std::fprintf(stderr, "hlsprof-run: %s\n", parser.error().c_str());
+    return usage(parser, stderr);
   }
-  if (manifest_path.empty()) return usage(argv[0]);
+  if (help) {
+    usage(parser, stdout);
+    return 0;
+  }
+  if (version) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
+  if (parser.positionals().size() != 1) {
+    std::fprintf(stderr, "hlsprof-run: expected exactly one manifest path\n");
+    return usage(parser, stderr);
+  }
+  const std::string manifest_path = parser.positionals().front();
+
+  auto& telemetry_reg = telemetry::Registry::global();
+  const bool telemetry_on = !telemetry_out.empty() || !chrome_trace.empty();
+  if (telemetry_on) telemetry_reg.enable(true);
 
   runner::ManifestRun run;
   try {
@@ -83,7 +108,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (workers_override >= 0) run.options.workers = workers_override;
+  if (workers_override >= 0) run.options.workers = int(workers_override);
   if (seed_override >= 0) run.options.seed = std::uint64_t(seed_override);
   if (!out_override.empty()) run.out_prefix = out_override;
 
@@ -112,6 +137,36 @@ int main(int argc, char** argv) {
           runner::write_report(result, run.out_prefix, ropts);
       if (!quiet)
         std::printf("report written to %s (+ .csv)\n", path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (telemetry_on) {
+    try {
+      const telemetry::Snapshot snap = telemetry_reg.snapshot();
+      if (!telemetry_out.empty()) {
+        telemetry::write_text_file(telemetry_out,
+                                   telemetry::snapshot_json(snap) + "\n");
+        if (!quiet)
+          std::printf("telemetry snapshot written to %s\n",
+                      telemetry_out.c_str());
+      }
+      if (!chrome_trace.empty()) {
+        telemetry::write_text_file(chrome_trace,
+                                   telemetry::chrome_trace_json(snap) + "\n");
+        if (!quiet)
+          std::printf("chrome trace written to %s (open in Perfetto)\n",
+                      chrome_trace.c_str());
+      }
+      // Non-canonical sidecar next to the batch report, so archived runs
+      // keep their host metrics without touching the canonical bytes.
+      if (!run.out_prefix.empty()) {
+        telemetry::write_text_file(run.out_prefix + ".telemetry.json",
+                                   telemetry::snapshot_json(snap) + "\n");
+      }
+      if (!quiet) std::fputs(telemetry::summary_text(snap).c_str(), stdout);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
       return 2;
