@@ -1,0 +1,219 @@
+// Simulator throughput benchmark: simulated cycles per wall-clock second
+// for the fast path (direct dispatch + batched memory streams) against the
+// reference event loop, on the GEMM case study (1 and 8 hardware threads)
+// and the pi series. Exits non-zero if the fast path is slower than the
+// reference loop on either GEMM case — the perf contract CI enforces.
+// (pi's hot loop has no external-memory actions, so its two modes run the
+// same work; it is reported but not enforced.)
+//
+// Plain main() instead of google-benchmark: the run IS the measurement
+// (one simulation per rep, best-of-reps), and CI consumes the emitted
+// BENCH_sim.json. Flags: --dim=N --steps=N --reps=N --out=PATH.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "core/hlsprof.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/pi.hpp"
+#include "workloads/reference.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+struct ModeTiming {
+  cycle_t total_cycles = 0;
+  double best_seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  std::uint64_t direct_dispatch = 0;
+  std::uint64_t batched_mem = 0;
+};
+
+struct CaseResult {
+  std::string name;
+  ModeTiming fast;
+  ModeTiming ref;
+  double speedup = 0.0;
+  bool enforced = false;  // CI fails when enforced && speedup < 1
+};
+
+/// One timed run: builds a fresh simulator (binding included, so both
+/// modes pay identical setup) and folds the rep into `m` (best-of-reps).
+void time_rep(const hls::Design& design,
+              const std::function<void(sim::Simulator&)>& bind,
+              bool reference, bool first, ModeTiming& m) {
+  sim::SimParams p;
+  p.reference_event_loop = reference;
+  sim::Simulator s(design, p);
+  bind(s);
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::SimResult res = s.run(nullptr);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  if (first || sec < m.best_seconds) m.best_seconds = sec;
+  m.total_cycles = res.total_cycles;
+  const auto st = s.fast_path_stats();
+  m.direct_dispatch = st.direct_dispatch;
+  m.batched_mem = st.batched_mem;
+}
+
+CaseResult run_case(const std::string& name, const hls::Design& design,
+                    const std::function<void(sim::Simulator&)>& bind,
+                    int reps, bool enforced) {
+  CaseResult c;
+  c.name = name;
+  c.enforced = enforced;
+  // Interleave the modes rep-by-rep so background-load drift on the
+  // machine hits both equally instead of biasing the ratio.
+  for (int r = 0; r < reps; ++r) {
+    time_rep(design, bind, /*reference=*/true, r == 0, c.ref);
+    time_rep(design, bind, /*reference=*/false, r == 0, c.fast);
+  }
+  for (ModeTiming* m : {&c.ref, &c.fast}) {
+    m->cycles_per_sec =
+        m->best_seconds > 0 ? double(m->total_cycles) / m->best_seconds : 0.0;
+  }
+  c.speedup = c.ref.cycles_per_sec > 0
+                  ? c.fast.cycles_per_sec / c.ref.cycles_per_sec
+                  : 0.0;
+  if (c.fast.total_cycles != c.ref.total_cycles) {
+    std::fprintf(stderr,
+                 "FATAL %s: fast path diverged from reference "
+                 "(%llu vs %llu cycles)\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(c.fast.total_cycles),
+                 static_cast<unsigned long long>(c.ref.total_cycles));
+    std::exit(2);
+  }
+  std::printf(
+      "%-10s %12llu cycles | ref %10.3g cyc/s | fast %10.3g cyc/s | "
+      "%.2fx | dispatch %llu | batched %llu\n",
+      name.c_str(), static_cast<unsigned long long>(c.fast.total_cycles),
+      c.ref.cycles_per_sec, c.fast.cycles_per_sec, c.speedup,
+      static_cast<unsigned long long>(c.fast.direct_dispatch),
+      static_cast<unsigned long long>(c.fast.batched_mem));
+  return c;
+}
+
+std::string mode_json(const char* key, const ModeTiming& m) {
+  return strf(
+      "    \"%s\": {\"cycles\": %llu, \"best_seconds\": %.6f, "
+      "\"cycles_per_sec\": %.1f, \"sim.direct_dispatch\": %llu, "
+      "\"sim.batched_mem\": %llu}",
+      key, static_cast<unsigned long long>(m.total_cycles), m.best_seconds,
+      m.cycles_per_sec, static_cast<unsigned long long>(m.direct_dispatch),
+      static_cast<unsigned long long>(m.batched_mem));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int dim = benchutil::int_flag(&argc, argv, "dim", "HLSPROF_SIM_DIM",
+                                      64);
+  const int steps = benchutil::int_flag(&argc, argv, "steps",
+                                        "HLSPROF_SIM_STEPS", 100000);
+  const int reps = benchutil::int_flag(&argc, argv, "reps",
+                                       "HLSPROF_SIM_REPS", 3);
+  std::string out = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--out=", 0) == 0) out = a.substr(6);
+  }
+
+  std::vector<CaseResult> cases;
+
+  {
+    workloads::GemmConfig cfg;
+    cfg.dim = dim;
+    cfg.threads = 1;
+    const auto a = workloads::random_matrix(cfg.dim, 11);
+    const auto b = workloads::random_matrix(cfg.dim, 22);
+    std::vector<float> c(std::size_t(dim) * std::size_t(dim));
+    hls::Design d = hls::compile(workloads::gemm_no_critical(cfg));
+    cases.push_back(run_case(
+        "gemm_t1", d,
+        [&](sim::Simulator& s) {
+          s.bind_f32("A", std::span<float>(const_cast<float*>(a.data()),
+                                           a.size()));
+          s.bind_f32("B", std::span<float>(const_cast<float*>(b.data()),
+                                           b.size()));
+          s.bind_f32("C", c);
+        },
+        reps, /*enforced=*/true));
+  }
+
+  {
+    workloads::GemmConfig cfg;
+    cfg.dim = dim;
+    cfg.threads = 8;
+    const auto a = workloads::random_matrix(cfg.dim, 11);
+    const auto b = workloads::random_matrix(cfg.dim, 22);
+    std::vector<float> c(std::size_t(dim) * std::size_t(dim));
+    hls::Design d = hls::compile(workloads::gemm_no_critical(cfg));
+    cases.push_back(run_case(
+        "gemm_t8", d,
+        [&](sim::Simulator& s) {
+          s.bind_f32("A", std::span<float>(const_cast<float*>(a.data()),
+                                           a.size()));
+          s.bind_f32("B", std::span<float>(const_cast<float*>(b.data()),
+                                           b.size()));
+          s.bind_f32("C", c);
+        },
+        reps, /*enforced=*/true));
+  }
+
+  {
+    workloads::PiConfig cfg;
+    cfg.steps = steps;
+    cfg.threads = 8;
+    std::vector<float> pi_out(1);
+    hls::Design d = hls::compile(workloads::pi_series(cfg));
+    cases.push_back(run_case(
+        "pi_t8", d,
+        [&](sim::Simulator& s) {
+          s.set_arg("steps", std::int64_t(cfg.steps));
+          s.set_arg("inv_steps", 1.0 / double(cfg.steps));
+          s.bind_f32("out", pi_out);
+        },
+        reps, /*enforced=*/false));
+  }
+
+  std::string json = "{\n";
+  json += strf("  \"dim\": %d,\n  \"steps\": %d,\n  \"reps\": %d,\n", dim,
+               steps, reps);
+  json += "  \"cases\": {\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    json += strf("  \"%s\": {\n", c.name.c_str());
+    json += mode_json("reference", c.ref) + ",\n";
+    json += mode_json("fast", c.fast) + ",\n";
+    json += strf("    \"speedup\": %.3f,\n    \"enforced\": %s\n  }%s\n",
+                 c.speedup, c.enforced ? "true" : "false",
+                 i + 1 < cases.size() ? "," : "");
+  }
+  json += "  }\n}\n";
+
+  if (std::FILE* f = std::fopen(out.c_str(), "wb")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  for (const CaseResult& c : cases) {
+    if (c.enforced && c.speedup < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL %s: fast path slower than reference (%.2fx)\n",
+                   c.name.c_str(), c.speedup);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -40,6 +40,10 @@ inline std::shared_ptr<const hls::Design> compile_shared(
 }
 
 struct RunOptions {
+  /// Simulation runs on the fast path (direct dispatch + batched memory
+  /// streams) by default; set `sim.reference_event_loop` to use the
+  /// original event loop — cycle-exact with the fast path and kept as
+  /// the verification oracle (DESIGN.md §6e, docs/PERF.md).
   sim::SimParams sim;
   profiling::ProfilingConfig profiling;
   bool enable_profiling = true;

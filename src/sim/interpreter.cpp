@@ -38,6 +38,12 @@ ThreadInterp::ThreadInterp(const hls::Design& design,
                 "argument binding count mismatch");
   values_.resize(k_.ops.size());
   vars_.resize(k_.vars.size());
+  vals_ = values_.data();
+  varp_ = vars_.data();
+  ops_ = k_.ops.data();
+  op_start_ = d_.op_start.data();
+  op_latency_ = d_.op_latency.data();
+  frames_.reserve(16);  // typical nesting depth; avoids realloc churn
   locals_.reserve(k_.local_arrays.size());
   for (const auto& arr : k_.local_arrays) {
     locals_.emplace_back(static_cast<std::size_t>(arr.size), 0.0);
@@ -127,20 +133,9 @@ bool ThreadInterp::step(Action& out) {
         cf.con = con;
         cf.con_t0 = time_;
         cf.con_max_end = time_;
-        // Run the branch that touches external memory first so its memory
-        // requests are issued in nondecreasing global time (the other
-        // branches replay from con_t0 but generate no shared events).
-        cf.branch_order.resize(con->branches.size());
-        for (std::size_t i = 0; i < con->branches.size(); ++i) {
-          cf.branch_order[i] = i;
-        }
-        std::stable_sort(cf.branch_order.begin(), cf.branch_order.end(),
-                         [&](std::size_t a, std::size_t b) {
-                           return branch_has_ext(*con->branches[a]) >
-                                  branch_has_ext(*con->branches[b]);
-                         });
+        cf.branch_order = &concurrent_order(*con);
         const Region* first =
-            con->branches[cf.branch_order[0]].get();
+            con->branches[(*cf.branch_order)[0]].get();
         frames_.push_back(std::move(cf));
         Frame rf;
         rf.kind = Frame::Kind::region;
@@ -170,7 +165,7 @@ bool ThreadInterp::step(Action& out) {
         HLSPROF_CHECK(f.step_v > 0, "loop step must be positive (kernel '" +
                                         k_.name + "', loop '" +
                                         f.loop->name + "')");
-        vars_[static_cast<std::size_t>(f.loop->induction)].i[0] = f.iv_cur;
+        varp_[static_cast<std::size_t>(f.loop->induction)].i[0] = f.iv_cur;
         time_ += params_.ctrl.loop_entry_overhead;
         f.entry_time = time_;
         f.loop_end = time_;
@@ -183,9 +178,19 @@ bool ThreadInterp::step(Action& out) {
               f.iter_base + f.iter_stall + cycle_t(f.linfo->depth));
         }
         f.iv_cur += f.step_v;
-        vars_[static_cast<std::size_t>(f.loop->induction)].i[0] = f.iv_cur;
+        varp_[static_cast<std::size_t>(f.loop->induction)].i[0] = f.iv_cur;
       }
+      // `f` may dangle once begin_iteration_or_exit pushes the body frame
+      // (frames_ can reallocate), so remember the loop frame's index.
+      const std::size_t loop_at = frames_.size() - 1;
       begin_iteration_or_exit(f);
+      if (frames_.size() == loop_at + 2 && mem_horizon_ != 0) {
+        const Frame& lf = frames_[loop_at];
+        if (lf.linfo->pipelined) {
+          const std::vector<ValueId>* ids = simple_body(*lf.loop->body);
+          if (ids != nullptr) return run_batched_iterations(loop_at, *ids, out);
+        }
+      }
       return false;
     }
 
@@ -210,11 +215,11 @@ bool ThreadInterp::step(Action& out) {
       flush_compute(time_);
       f.con_max_end = std::max(f.con_max_end, time_);
       ++f.branch_pos;
-      if (f.branch_pos < f.branch_order.size()) {
+      if (f.branch_pos < f.branch_order->size()) {
         time_ = f.con_t0;
         last_flush_ = f.con_t0;
         const Region* next =
-            f.con->branches[f.branch_order[f.branch_pos]].get();
+            f.con->branches[(*f.branch_order)[f.branch_pos]].get();
         frames_.push_back([&] {
           Frame rf;
           rf.kind = Frame::Kind::region;
@@ -262,8 +267,95 @@ void ThreadInterp::begin_iteration_or_exit(Frame& f) {
   frames_.push_back(std::move(rf));
 }
 
+const std::vector<ValueId>* ThreadInterp::simple_body(const Region& r) {
+  auto [it, inserted] = simple_body_.try_emplace(&r);
+  if (inserted) {
+    for (const Stmt& s : r.stmts) {
+      if (const auto* os = std::get_if<ir::OpStmt>(&s)) {
+        it->second.push_back(os->op);
+      } else {
+        it->second.clear();
+        break;
+      }
+    }
+  }
+  // A partial decode (non-op statement hit) leaves fewer ids than stmts.
+  return it->second.size() == r.stmts.size() ? &it->second : nullptr;
+}
+
+bool ThreadInterp::run_batched_iterations(std::size_t loop_at,
+                                          const std::vector<ValueId>& ids,
+                                          Action& out) {
+  // PRE: frames_[loop_at] is a pipelined loop frame mid-iteration and
+  // frames_.back() is its body region frame; active_pipe_ == loop_at.
+  // Cycle-exactness: every effect below reuses the generic machinery's
+  // code (eval_pure, exec_op, apply_mem, the loop-frame arithmetic from
+  // step/begin_iteration_or_exit) — only the dispatch around it is gone.
+  const std::size_t n = ids.size();
+  for (;;) {
+    // Stable references: the tight loop never grows frames_, so neither
+    // the body frame nor the loop frame can move until we return.
+    Frame& rf = frames_.back();
+    Frame& lf = frames_[loop_at];
+    while (rf.idx < n) {
+      const ValueId id = ids[rf.idx];
+      const Op& op = op_at(id);
+      const Opcode oc = op.opcode;
+      if (oc == Opcode::load_ext || oc == Opcode::store_ext) {
+        const cycle_t issue =
+            lf.iter_base + cycle_t(op_start_[static_cast<std::size_t>(id)]) +
+            lf.iter_stall;
+        if (issue >= mem_horizon_) {
+          // Another thread has an event at or before `issue`: hand the
+          // request to the generic path, which re-derives it and returns
+          // the Action for the event loop to commit in global order.
+          return exec_op(id, out);
+        }
+        HLSPROF_CHECK(issue <= params_.max_cycles,
+                      "simulation exceeded max_cycles (livelock guard)");
+        const std::int64_t index = scalar_i(op.operands[0]);
+        const addr_t addr = ext_addr(op, index);
+        const auto bytes = static_cast<std::uint32_t>(op.type.bytes());
+        const bool is_write = oc == Opcode::store_ext;
+        pending_op_ = id;
+        pending_addr_ = addr;
+        pending_issue_ = issue;
+        const MemTiming tm = mem_.access(issue, addr, bytes, is_write);
+        if (hooks_ != nullptr) {
+          hooks_->on_mem(tid_, tm.accepted, bytes, is_write);
+        }
+        ++batched_mem_;
+        apply_mem(tm);  // advances rf.idx
+      } else if (oc == Opcode::preload) {
+        if (exec_op(id, out)) return true;  // batched inline or suspended
+      } else {
+        eval_pure(op, id);
+        ++rf.idx;
+      }
+    }
+    // Iteration complete: advance the loop frame exactly as the generic
+    // loop case + begin_iteration_or_exit would, reusing the body frame
+    // in place instead of popping and re-pushing it.
+    lf.loop_end = std::max(
+        lf.loop_end, lf.iter_base + lf.iter_stall + cycle_t(lf.linfo->depth));
+    lf.iv_cur += lf.step_v;
+    varp_[static_cast<std::size_t>(lf.loop->induction)].i[0] = lf.iv_cur;
+    if (!(lf.iv_cur < lf.bound_v)) {
+      time_ = std::max(time_, lf.loop_end);
+      active_pipe_ = -1;
+      flush_compute(time_);
+      frames_.pop_back();  // body region frame
+      frames_.pop_back();  // the loop frame itself
+      return false;
+    }
+    lf.iter_base += cycle_t(lf.linfo->ii) + lf.iter_stall;
+    lf.iter_stall = 0;
+    rf.idx = 0;
+  }
+}
+
 bool ThreadInterp::exec_op(ValueId id, Action& out) {
-  const Op& op = k_.op(id);
+  const Op& op = op_at(id);
   if (op.opcode == Opcode::preload) {
     const std::int64_t src_index = scalar_i(op.operands[0]);
     const std::int64_t dst_index = scalar_i(op.operands[1]);
@@ -286,24 +378,38 @@ bool ThreadInterp::exec_op(ValueId id, Action& out) {
     Frame* pf = pipeline_frame();
     const cycle_t issue =
         pf ? pf->iter_base +
-                 cycle_t(d_.op_start[static_cast<std::size_t>(id)]) +
+                 cycle_t(op_start_[static_cast<std::size_t>(id)]) +
                  pf->iter_stall
            : time_;
     if (pf == nullptr) flush_compute(issue);
     const int esz = arg.elem_type.scalar_bytes();
-    out = Action{};
-    out.kind = Action::Kind::mem;
-    out.time = issue;
-    out.addr = args_[static_cast<std::size_t>(op.arg)].base +
-               addr_t(src_index) * addr_t(esz);
-    out.bytes = std::uint32_t(count * esz);
-    out.is_write = false;
-    out.is_preload = true;
+    const addr_t addr = args_[static_cast<std::size_t>(op.arg)].base +
+                        addr_t(src_index) * addr_t(esz);
+    const std::uint32_t bytes = std::uint32_t(count * esz);
     pending_op_ = id;
-    pending_addr_ = out.addr;
+    pending_addr_ = addr;
     pending_issue_ = issue;
     pending_dst_index_ = dst_index;
     pending_count_ = count;
+    if (issue < mem_horizon_) {
+      // Batched fast path: no other thread has an event before `issue`,
+      // so the burst commits against the memory model inline — exactly
+      // the sub-requests the event loop would have issued.
+      HLSPROF_CHECK(issue <= params_.max_cycles,
+                    "simulation exceeded max_cycles (livelock guard)");
+      const MemTiming tm = mem_.burst(issue, addr, bytes);
+      if (hooks_ != nullptr) hooks_->on_mem(tid_, tm.accepted, bytes, false);
+      ++batched_mem_;
+      apply_mem(tm);
+      return false;
+    }
+    out = Action{};
+    out.kind = Action::Kind::mem;
+    out.time = issue;
+    out.addr = addr;
+    out.bytes = bytes;
+    out.is_write = false;
+    out.is_preload = true;
     suspend_ = Suspend::mem;
     return true;
   }
@@ -319,25 +425,41 @@ bool ThreadInterp::exec_op(ValueId id, Action& out) {
     Frame* pf = pipeline_frame();
     const cycle_t issue =
         pf ? pf->iter_base +
-                 cycle_t(d_.op_start[static_cast<std::size_t>(id)]) +
+                 cycle_t(op_start_[static_cast<std::size_t>(id)]) +
                  pf->iter_stall
            : time_;
     if (pf == nullptr) flush_compute(issue);
+    const std::uint32_t bytes = static_cast<std::uint32_t>(op.type.bytes());
+    const bool is_write = op.opcode == Opcode::store_ext;
+    pending_op_ = id;
+    pending_addr_ = addr;
+    pending_issue_ = issue;
+    if (issue < mem_horizon_) {
+      // Batched fast path: commit the request inline (see set_mem_horizon).
+      // The strict `<` preserves the event loop's (time, seq) tie-break:
+      // an equal-time event already in the heap would have popped first.
+      HLSPROF_CHECK(issue <= params_.max_cycles,
+                    "simulation exceeded max_cycles (livelock guard)");
+      const MemTiming tm = mem_.access(issue, addr, bytes, is_write);
+      if (hooks_ != nullptr) {
+        hooks_->on_mem(tid_, tm.accepted, bytes, is_write);
+      }
+      ++batched_mem_;
+      apply_mem(tm);
+      return false;
+    }
     out = Action{};
     out.kind = Action::Kind::mem;
     out.time = issue;
     out.addr = addr;
-    out.bytes = static_cast<std::uint32_t>(op.type.bytes());
-    out.is_write = op.opcode == Opcode::store_ext;
-    pending_op_ = id;
-    pending_addr_ = addr;
-    pending_issue_ = issue;
+    out.bytes = bytes;
+    out.is_write = is_write;
     suspend_ = Suspend::mem;
     return true;
   }
   eval_pure(op, id);
   if (pipeline_frame() == nullptr) {
-    time_ += cycle_t(d_.op_latency[static_cast<std::size_t>(id)]);
+    time_ += cycle_t(op_latency_[static_cast<std::size_t>(id)]);
   }
   ++frames_.back().idx;
   return false;
@@ -345,7 +467,16 @@ bool ThreadInterp::exec_op(ValueId id, Action& out) {
 
 void ThreadInterp::mem_done(const MemTiming& timing) {
   HLSPROF_CHECK(suspend_ == Suspend::mem, "unexpected mem_done");
-  const Op& op = k_.op(pending_op_);
+  suspend_ = Suspend::none;
+  apply_mem(timing);
+}
+
+/// Tail of a memory request: stall accounting, functional data movement,
+/// and resuming the enclosing region. Reached from mem_done (event-loop
+/// round trip) and from the batched inline path in exec_op — keeping it
+/// shared is what makes the two execution modes cycle-exact.
+void ThreadInterp::apply_mem(const MemTiming& timing) {
+  const Op& op = op_at(pending_op_);
   const cycle_t assumed = cycle_t(d_.options.lib.ext_assumed_min);
   const cycle_t expected = pending_issue_ + assumed;
   cycle_t stall = timing.complete > expected ? timing.complete - expected : 0;
@@ -388,7 +519,6 @@ void ThreadInterp::mem_done(const MemTiming& timing) {
       if (arr.elem == ir::Scalar::f32) x = double(float(x));
       store[static_cast<std::size_t>(pending_dst_index_ + e)] = x;
     }
-    suspend_ = Suspend::none;
     pending_op_ = ir::kNoValue;
     HLSPROF_CHECK(!frames_.empty() &&
                       frames_.back().kind == Frame::Kind::region,
@@ -444,7 +574,6 @@ void ThreadInterp::mem_done(const MemTiming& timing) {
     }
   }
 
-  suspend_ = Suspend::none;
   pending_op_ = ir::kNoValue;
   // The enclosing region frame resumes at the next statement.
   HLSPROF_CHECK(!frames_.empty() &&
@@ -484,6 +613,25 @@ void ThreadInterp::barrier_released(cycle_t t) {
   suspend_ = Suspend::none;
   time_ = std::max(time_, t);
   last_flush_ = std::max(last_flush_, time_);
+}
+
+const std::vector<std::size_t>& ThreadInterp::concurrent_order(
+    const ir::ConcurrentStmt& con) {
+  auto [it, inserted] = con_order_.try_emplace(&con);
+  if (inserted) {
+    // Run the branch that touches external memory first so its memory
+    // requests are issued in nondecreasing global time (the other
+    // branches replay from con_t0 but generate no shared events).
+    std::vector<std::size_t>& order = it->second;
+    order.resize(con.branches.size());
+    for (std::size_t i = 0; i < con.branches.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return branch_has_ext(*con.branches[a]) >
+                              branch_has_ext(*con.branches[b]);
+                     });
+  }
+  return it->second;
 }
 
 bool ThreadInterp::branch_has_ext(const ir::Region& r) const {
@@ -571,7 +719,7 @@ void ThreadInterp::eval_pure(const Op& op, ValueId id) {
 
   auto& out = val(id);
   auto A = [&](int i) -> const RtVal& {
-    return values_[static_cast<std::size_t>(op.operands[static_cast<std::size_t>(i)])];
+    return vals_[static_cast<std::size_t>(op.operands[static_cast<std::size_t>(i)])];
   };
 
   switch (op.opcode) {
@@ -652,7 +800,7 @@ void ThreadInterp::eval_pure(const Op& op, ValueId id) {
     case Opcode::cmp_ge:
     case Opcode::cmp_eq:
     case Opcode::cmp_ne: {
-      const Op& lhs_op = k_.op(op.operands[0]);
+      const Op& lhs_op = op_at(op.operands[0]);
       const bool cmp_fp = lhs_op.type.is_float();
       bool r = false;
       if (cmp_fp) {
@@ -731,7 +879,7 @@ void ThreadInterp::eval_pure(const Op& op, ValueId id) {
       break;
     }
     case Opcode::cast: {
-      const Op& src_op = k_.op(op.operands[0]);
+      const Op& src_op = op_at(op.operands[0]);
       const RtVal& a = A(0);
       for (int l = 0; l < lanes; ++l) {
         const auto li = static_cast<std::size_t>(l);
@@ -782,7 +930,7 @@ void ThreadInterp::eval_pure(const Op& op, ValueId id) {
       break;
     }
     case Opcode::reduce_add: {
-      const Op& src_op = k_.op(op.operands[0]);
+      const Op& src_op = op_at(op.operands[0]);
       const RtVal& a = A(0);
       const int n = src_op.type.lanes;
       if (fp) {
@@ -807,11 +955,11 @@ void ThreadInterp::eval_pure(const Op& op, ValueId id) {
       do_local_store(op);
       break;
     case Opcode::var_read: {
-      out = vars_[static_cast<std::size_t>(op.var)];
+      out = varp_[static_cast<std::size_t>(op.var)];
       break;
     }
     case Opcode::var_write: {
-      vars_[static_cast<std::size_t>(op.var)] = A(0);
+      varp_[static_cast<std::size_t>(op.var)] = A(0);
       break;
     }
     case Opcode::load_ext:

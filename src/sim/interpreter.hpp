@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "hls/design.hpp"
@@ -77,6 +77,18 @@ class ThreadInterp {
   void release_done(cycle_t t);
   void barrier_released(cycle_t t);
 
+  /// Batched memory streams (fast path): until the next `resume` returns,
+  /// the interpreter may commit external-memory requests whose issue cycle
+  /// is *strictly* below `horizon` directly against the memory model —
+  /// bank/bus state advances and `on_mem`/`on_stall` hooks fire exactly as
+  /// if each request had taken an Action round-trip through the event
+  /// loop. The simulator sets the horizon to the earliest other pending
+  /// event before every resume (kNoCycle when no other thread has one);
+  /// 0 disables batching (the reference event loop never raises it).
+  void set_mem_horizon(cycle_t horizon) { mem_horizon_ = horizon; }
+  /// External-memory requests committed inline by the batching fast path.
+  long long batched_mem() const { return batched_mem_; }
+
   cycle_t time() const { return time_; }
   bool finished() const { return finished_; }
 
@@ -116,7 +128,10 @@ class ThreadInterp {
 
     // concurrent
     const ir::ConcurrentStmt* con = nullptr;
-    std::vector<std::size_t> branch_order;  // external-memory branch first
+    // External-memory branch first; points into `con_order_` (stable
+    // unordered_map storage) so pushing a concurrent frame never copies
+    // the order vector.
+    const std::vector<std::size_t>* branch_order = nullptr;
     std::size_t branch_pos = 0;
     cycle_t con_t0 = 0;
     cycle_t con_max_end = 0;
@@ -133,14 +148,41 @@ class ThreadInterp {
   // -- state-machine driver --
   bool step(Action& out);  // returns true if an action was produced
   bool exec_op(ir::ValueId id, Action& out);
-  void finish_mem_op(const MemTiming& timing);
+  void apply_mem(const MemTiming& timing);  // shared mem-commit tail
   void begin_iteration_or_exit(Frame& f);
   void flush_compute(cycle_t now);
+  const std::vector<std::size_t>& concurrent_order(
+      const ir::ConcurrentStmt& con);
+  /// Batched executor for pipelined loops whose body is straight-line ops
+  /// (no nested control flow): runs iterations in a tight loop without
+  /// per-statement `step()` dispatch or per-iteration frame churn,
+  /// committing memory requests inline while they stay below the batching
+  /// horizon and falling back to the generic machinery the moment one
+  /// reaches it. Only entered when batching is active (fast path); the
+  /// reference event loop never sees it because it must suspend at every
+  /// memory action. `loop_at` indexes the loop frame; frames_.back() is
+  /// its body region frame. Returns true if an Action was produced.
+  bool run_batched_iterations(std::size_t loop_at,
+                              const std::vector<ir::ValueId>& ids,
+                              Action& out);
+  /// Memoized straight-line decode of a loop body: the body's ops in
+  /// order, or nullptr if the region contains non-op statements.
+  const std::vector<ir::ValueId>* simple_body(const ir::Region& r);
 
   // -- evaluation helpers --
-  RtVal& val(ir::ValueId v) { return values_[static_cast<std::size_t>(v)]; }
+  // `vals_` caches values_.data(): the per-op operand loads in eval_pure
+  // are the interpreter's hottest reads, and indexing the raw pointer
+  // avoids re-reading the vector header on every access.
+  RtVal& val(ir::ValueId v) { return vals_[static_cast<std::size_t>(v)]; }
   std::int64_t scalar_i(ir::ValueId v) {
-    return values_[static_cast<std::size_t>(v)].i[0];
+    return vals_[static_cast<std::size_t>(v)].i[0];
+  }
+  // Unchecked op-arena lookup via the `ops_` pointer cached in the
+  // constructor. The verifier has already proven every ValueId reachable
+  // from the region tree in range, and `Kernel::op`'s out-of-line bounds
+  // check showed up hot (one call per executed op).
+  const ir::Op& op_at(ir::ValueId v) const {
+    return ops_[static_cast<std::size_t>(v)];
   }
   void eval_pure(const ir::Op& op, ir::ValueId id);
   addr_t ext_addr(const ir::Op& op, std::int64_t index) const;
@@ -162,7 +204,20 @@ class ThreadInterp {
   std::vector<Frame> frames_;
   std::vector<RtVal> values_;
   std::vector<RtVal> vars_;
+  RtVal* vals_ = nullptr;  // values_.data(), hoisted for the op hot path
+  RtVal* varp_ = nullptr;  // vars_.data()
+  const ir::Op* ops_ = nullptr;       // k_.ops.data()
+  const int* op_start_ = nullptr;     // d_.op_start.data()
+  const int* op_latency_ = nullptr;   // d_.op_latency.data()
   std::vector<std::vector<double>> locals_;
+  /// Memoized external-memory-first branch order per concurrent region —
+  /// computed once instead of re-walking the region tree every execution
+  /// (double-buffered kernels enter the same concurrent region per tile).
+  std::unordered_map<const ir::ConcurrentStmt*, std::vector<std::size_t>>
+      con_order_;
+  /// Memoized straight-line decode per loop-body region (see simple_body).
+  std::unordered_map<const ir::Region*, std::vector<ir::ValueId>>
+      simple_body_;
 
   cycle_t time_ = 0;
   bool started_ = false;
@@ -176,6 +231,8 @@ class ThreadInterp {
   std::int64_t pending_dst_index_ = 0;  // preload destination
   std::int64_t pending_count_ = 0;      // preload element count
   int active_pipe_ = -1;  // index into frames_ of active pipelined loop
+  cycle_t mem_horizon_ = 0;     // batching horizon; 0 = disabled
+  long long batched_mem_ = 0;   // inline-committed memory requests
 
   // statistics + compute-hook batching
   cycle_t stall_cycles_ = 0;

@@ -4,17 +4,39 @@
 
 namespace hlsprof::sim {
 
+namespace {
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2_exact(std::uint64_t v) {
+  unsigned s = 0;
+  while ((std::uint64_t{1} << s) < v) ++s;
+  return s;
+}
+
+}  // namespace
+
 ExternalMemory::ExternalMemory(const DramParams& params, std::size_t capacity)
     : p_(params), data_(capacity, 0) {
   HLSPROF_CHECK(p_.num_banks >= 1, "DRAM needs at least one bank");
   HLSPROF_CHECK(p_.line_bytes > 0 && p_.row_bytes >= p_.line_bytes,
                 "DRAM row must be at least one line");
   banks_.resize(static_cast<std::size_t>(p_.num_banks));
+  if (is_pow2(p_.row_bytes) && is_pow2(p_.line_bytes) &&
+      is_pow2(std::uint64_t(p_.num_banks))) {
+    pow2_geometry_ = true;
+    row_shift_ = log2_exact(p_.row_bytes);
+    line_shift_ = log2_exact(p_.line_bytes);
+    bank_mask_ = std::uint64_t(p_.num_banks) - 1;
+  }
 }
 
 addr_t ExternalMemory::allocate(const std::string& label, std::size_t bytes) {
   const addr_t aligned = (alloc_ptr_ + 63) & ~addr_t{63};
-  HLSPROF_CHECK(aligned + bytes <= data_.size(),
+  // `aligned + bytes` can wrap for huge requests; compare against the
+  // remaining capacity instead so overflow cannot sneak past the check.
+  HLSPROF_CHECK(aligned >= alloc_ptr_ && aligned <= data_.size() &&
+                    bytes <= data_.size() - aligned,
                 "external memory exhausted allocating '" + label + "'");
   alloc_ptr_ = aligned + bytes;
   return aligned;
@@ -30,6 +52,27 @@ void ExternalMemory::read_bytes(addr_t addr, void* dst, std::size_t n) const {
   std::memcpy(dst, data_.data() + addr, n);
 }
 
+MemTiming ExternalMemory::burst(cycle_t t, addr_t addr, std::uint32_t bytes) {
+  // The preloader DMA issues back-to-back line requests on its own bus
+  // master; the requesting thread resumes when the last line has arrived.
+  const addr_t line = p_.line_bytes;
+  const addr_t first_line = addr / line;
+  const addr_t last_line = (addr + bytes - 1) / line;
+  MemTiming tm;
+  bool first = true;
+  for (addr_t l = first_line; l <= last_line; ++l) {
+    const MemTiming part = access(t, l * line, std::uint32_t(line), false);
+    if (first) {
+      tm.accepted = part.accepted;
+      tm.row_hit = part.row_hit;
+      first = false;
+    }
+    tm.complete = std::max(tm.complete, part.complete);
+    t = part.accepted + 1;
+  }
+  return tm;
+}
+
 MemTiming ExternalMemory::access(cycle_t t, addr_t addr, std::uint32_t bytes,
                                  bool is_write) {
   // Avalon arbiter: one acceptance per bus_accept_interval.
@@ -39,15 +82,25 @@ MemTiming ExternalMemory::access(cycle_t t, addr_t addr, std::uint32_t bytes,
 
   // Bank selection: row-granular interleaving — consecutive rows map to
   // consecutive banks, so large-stride streams exploit bank parallelism
-  // while staying row-miss-bound.
-  const std::int64_t row = std::int64_t(addr / p_.row_bytes);
-  Bank& bank = banks_[static_cast<std::size_t>(
-      row % std::int64_t(p_.num_banks))];
+  // while staying row-miss-bound. Power-of-two geometries (the default)
+  // use the shift/mask path precomputed in the constructor.
+  std::int64_t row;
+  std::size_t bank_idx;
+  cycle_t lines;
+  if (pow2_geometry_) {
+    row = std::int64_t(addr >> row_shift_);
+    bank_idx = std::size_t(std::uint64_t(row) & bank_mask_);
+    lines = std::max<cycle_t>(
+        1, (cycle_t(bytes) + (cycle_t{1} << line_shift_) - 1) >> line_shift_);
+  } else {
+    row = std::int64_t(addr / p_.row_bytes);
+    bank_idx = static_cast<std::size_t>(row % std::int64_t(p_.num_banks));
+    lines = std::max<cycle_t>(1, (bytes + p_.line_bytes - 1) / p_.line_bytes);
+  }
+  Bank& bank = banks_[bank_idx];
 
   const cycle_t service_start = std::max(accepted, bank.free_at);
   const bool hit = bank.open_row == row;
-  const cycle_t lines =
-      std::max<cycle_t>(1, (bytes + p_.line_bytes - 1) / p_.line_bytes);
   const cycle_t occupancy =
       hit ? lines * p_.hit_occupancy
           : p_.miss_occupancy + (lines - 1) * p_.hit_occupancy;

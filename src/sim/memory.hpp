@@ -37,15 +37,22 @@ class ExternalMemory {
   void write_bytes(addr_t addr, const void* src, std::size_t n);
   void read_bytes(addr_t addr, void* dst, std::size_t n) const;
 
+  // Scalar access is on the interpreter's per-element hot path, so it
+  // checks bounds and copies inline (the compile-time size lets the
+  // copy lower to a single load/store) instead of calling read_bytes.
   template <typename T>
   T read_scalar(addr_t addr) const {
+    HLSPROF_CHECK(addr + sizeof(T) <= data_.size(),
+                  "external memory read out of range");
     T v;
-    read_bytes(addr, &v, sizeof(T));
+    std::memcpy(&v, data_.data() + addr, sizeof(T));
     return v;
   }
   template <typename T>
   void write_scalar(addr_t addr, T v) {
-    write_bytes(addr, &v, sizeof(T));
+    HLSPROF_CHECK(addr + sizeof(T) <= data_.size(),
+                  "external memory write out of range");
+    std::memcpy(data_.data() + addr, &v, sizeof(T));
   }
 
   // ---- Timing --------------------------------------------------------------
@@ -54,6 +61,13 @@ class ExternalMemory {
   /// it). Advances arbiter and bank state.
   MemTiming access(cycle_t t, addr_t addr, std::uint32_t bytes,
                    bool is_write);
+
+  /// Preloader DMA burst starting at cycle `t`: the byte range
+  /// [addr, addr+bytes) is fetched as back-to-back full-line reads on the
+  /// preloader's own bus master. `accepted`/`row_hit` describe the first
+  /// line, `complete` the arrival of the last. Used by both simulator
+  /// execution modes so burst timing stays identical by construction.
+  MemTiming burst(cycle_t t, addr_t addr, std::uint32_t bytes);
 
   // ---- Statistics ---------------------------------------------------------------
   long long reads() const { return reads_; }
@@ -74,6 +88,15 @@ class ExternalMemory {
   std::vector<Bank> banks_;
   cycle_t bus_free_at_ = 0;
   addr_t alloc_ptr_ = 0;
+
+  // Geometry fast path: the default row/line/bank sizes are powers of
+  // two, so `access()` can use shifts and masks instead of 64-bit
+  // division on every request. Precomputed once in the constructor;
+  // non-power-of-two geometries fall back to div/mod.
+  bool pow2_geometry_ = false;
+  unsigned row_shift_ = 0;
+  unsigned line_shift_ = 0;
+  std::uint64_t bank_mask_ = 0;
 
   long long reads_ = 0;
   long long writes_ = 0;

@@ -57,6 +57,12 @@ struct SimParams {
   /// timing-only sweeps: addresses and control flow are still exact, but
   /// FP values are not computed and output buffers are not meaningful.
   bool functional = true;
+  /// Run the original heap-only event loop instead of the fast path
+  /// (direct dispatch + batched memory streams). The two modes are
+  /// cycle-exact against each other — identical SimResult fields and
+  /// byte-identical Paraver output; the reference mode exists as the
+  /// oracle for the differential test suite and for debugging.
+  bool reference_event_loop = false;
   /// Upper bound on simulated cycles (deadlock/livelock guard).
   cycle_t max_cycles = ~cycle_t{0} / 4;
 };

@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -37,8 +36,10 @@ Simulator::Simulator(const hls::Design& design, SimParams params,
   const auto& k = d_.kernel;
   bound_.resize(k.args.size());
   arg_values_.resize(k.args.size());
+  arg_index_.reserve(k.args.size());
   for (std::size_t i = 0; i < k.args.size(); ++i) {
     const ir::Arg& a = k.args[i];
+    arg_index_.emplace(a.name, static_cast<int>(i));
     if (a.is_pointer) {
       const std::size_t bytes =
           std::size_t(a.count) * std::size_t(a.elem_type.scalar_bytes());
@@ -49,9 +50,8 @@ Simulator::Simulator(const hls::Design& design, SimParams params,
 }
 
 int Simulator::arg_index(const std::string& name) const {
-  for (std::size_t i = 0; i < d_.kernel.args.size(); ++i) {
-    if (d_.kernel.args[i].name == name) return static_cast<int>(i);
-  }
+  const auto it = arg_index_.find(name);
+  if (it != arg_index_.end()) return it->second;
   fail("no kernel argument named '" + name + "'");
 }
 
@@ -111,6 +111,15 @@ addr_t Simulator::device_base(const std::string& name) const {
   return bound_[static_cast<std::size_t>(idx)].value.base;
 }
 
+cycle_t Simulator::transfer_cycles(std::size_t bytes) const {
+  // Integer ceil-division — the floating-point std::ceil formulation
+  // loses exactness for large transfers. Fractional bandwidths below one
+  // byte per cycle clamp to one.
+  const auto bpc = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.host.pcie_bytes_per_cycle));
+  return params_.host.transfer_setup + cycle_t((bytes + bpc - 1) / bpc);
+}
+
 cycle_t Simulator::copy_in(cycle_t t) {
   const auto& k = d_.kernel;
   for (std::size_t i = 0; i < k.args.size(); ++i) {
@@ -127,8 +136,7 @@ cycle_t Simulator::copy_in(cycle_t t) {
     if (a.map == ir::MapDir::to || a.map == ir::MapDir::tofrom) {
       mem_.write_bytes(bound_[i].value.base, bound_[i].host, bytes);
       const cycle_t begin = t;
-      t += params_.host.transfer_setup +
-           cycle_t(std::ceil(double(bytes) / params_.host.pcie_bytes_per_cycle));
+      t += transfer_cycles(bytes);
       transfers_.push_back(HostTransfer{a.name, true, begin, t, bytes});
     }
   }
@@ -145,8 +153,7 @@ cycle_t Simulator::copy_out(cycle_t t) {
           std::size_t(a.count) * std::size_t(a.elem_type.scalar_bytes());
       mem_.read_bytes(bound_[i].value.base, bound_[i].host, bytes);
       const cycle_t begin = t;
-      t += params_.host.transfer_setup +
-           cycle_t(std::ceil(double(bytes) / params_.host.pcie_bytes_per_cycle));
+      t += transfer_cycles(bytes);
       transfers_.push_back(HostTransfer{a.name, false, begin, t, bytes});
     }
   }
@@ -163,12 +170,164 @@ void Simulator::emit_state(SimHooks* hooks, thread_id_t tid, ThreadState s,
   if (hooks != nullptr) hooks->on_state(tid, s, t);
 }
 
-void Simulator::advance(thread_id_t tid, SimHooks* hooks) {
-  (void)hooks;
-  ThreadInterp& ti = *interps_[tid];
-  const Action a = ti.resume();
-  pending_[tid] = a;
-  push_event(a.time, tid);
+void Simulator::advance(thread_id_t tid, bool allow_batching) {
+  ThreadInterp& ti = interps_[tid];
+  // Batching horizon: the earliest event any *other* thread has pending.
+  // Memory requests strictly below it can commit inline without changing
+  // the global commit order (parked threads can only be re-scheduled at or
+  // after that horizon, by an action that itself ends the resume).
+  ti.set_mem_horizon(allow_batching
+                         ? (heap_.empty() ? kNoCycle : heap_.front().time)
+                         : 0);
+  pending_[tid] = ti.resume();
+  has_pending_[tid] = 1;
+}
+
+void Simulator::start_thread(thread_id_t tid, cycle_t t, SimHooks* hooks,
+                             bool allow_batching) {
+  started_[tid] = 1;
+  emit_state(hooks, tid, ThreadState::running, t);
+  interps_[tid].start(t);
+  advance(tid, allow_batching);
+}
+
+Simulator::Commit Simulator::commit_action(thread_id_t tid, const Action& a,
+                                           SimHooks* hooks,
+                                           bool allow_batching) {
+  switch (a.kind) {
+    case Action::Kind::mem: {
+      const MemTiming tm =
+          a.is_preload ? mem_.burst(a.time, a.addr, a.bytes)
+                       : mem_.access(a.time, a.addr, a.bytes, a.is_write);
+      if (hooks != nullptr) {
+        hooks->on_mem(tid, tm.accepted, a.bytes, a.is_write);
+      }
+      interps_[tid].mem_done(tm);
+      advance(tid, allow_batching);
+      return Commit::advanced;
+    }
+    case Action::Kind::acquire: {
+      emit_state(hooks, tid, ThreadState::spinning, a.time);
+      const auto grant = sem_.acquire(a.lock_id, tid, a.time);
+      if (!grant.has_value()) {
+        return Commit::parked;  // the grant arrives from a future release
+      }
+      emit_state(hooks, tid, ThreadState::critical, *grant);
+      interps_[tid].lock_granted(*grant);
+      advance(tid, allow_batching);
+      return Commit::advanced;
+    }
+    case Action::Kind::release: {
+      const auto r = sem_.release(a.lock_id, tid, a.time);
+      emit_state(hooks, tid, ThreadState::running, a.time);
+      if (r.granted.has_value()) {
+        const auto [waiter, gt] = *r.granted;
+        emit_state(hooks, waiter, ThreadState::critical, gt);
+        interps_[waiter].lock_granted(gt);
+        // The waiter resumes before this thread's next action time is
+        // known, so its first resume must not batch past the heap.
+        advance(waiter, false);
+        push_event(pending_[waiter].time, waiter);
+      }
+      interps_[tid].release_done(r.release_done);
+      advance(tid, allow_batching);
+      return Commit::advanced;
+    }
+    case Action::Kind::barrier: {
+      emit_state(hooks, tid, ThreadState::spinning, a.time);
+      auto done = barrier_.arrive(tid, a.time);
+      if (done.has_value()) {
+        const auto& [when, released] = *done;
+        for (thread_id_t w : released) {
+          emit_state(hooks, w, ThreadState::running, when);
+          interps_[w].barrier_released(when);
+          advance(w, false);
+          push_event(pending_[w].time, w);
+        }
+      }
+      // The arriving thread's own continuation (when it is the releaser)
+      // was pushed with the rest of the released set above.
+      return Commit::parked;
+    }
+    case Action::Kind::finished: {
+      emit_state(hooks, tid, ThreadState::idle, a.time);
+      ThreadStats& st = stats_[tid];
+      st.end = a.time;
+      st.stall_cycles = interps_[tid].stall_cycles();
+      st.int_ops = interps_[tid].int_ops();
+      st.fp_ops = interps_[tid].fp_ops();
+      st.ext_loads = interps_[tid].ext_loads();
+      st.ext_stores = interps_[tid].ext_stores();
+      ++finished_count_;
+      return Commit::finished;
+    }
+  }
+  fail("unreachable action kind");
+}
+
+void Simulator::run_reference(SimHooks* hooks) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    HLSPROF_CHECK(ev.time <= params_.max_cycles,
+                  "simulation exceeded max_cycles (livelock guard)");
+    const thread_id_t tid = ev.tid;
+
+    if (!started_[tid]) {
+      start_thread(tid, ev.time, hooks, false);
+      push_event(pending_[tid].time, tid);
+      continue;
+    }
+
+    HLSPROF_CHECK(has_pending_[tid], "event without pending action");
+    const Action a = pending_[tid];
+    has_pending_[tid] = 0;
+    if (commit_action(tid, a, hooks, false) == Commit::advanced) {
+      push_event(pending_[tid].time, tid);
+    }
+  }
+}
+
+void Simulator::run_fast(SimHooks* hooks) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    HLSPROF_CHECK(ev.time <= params_.max_cycles,
+                  "simulation exceeded max_cycles (livelock guard)");
+    const thread_id_t tid = ev.tid;
+
+    Commit c;
+    if (!started_[tid]) {
+      start_thread(tid, ev.time, hooks, true);
+      c = Commit::advanced;
+    } else {
+      HLSPROF_CHECK(has_pending_[tid], "event without pending action");
+      const Action a = pending_[tid];
+      has_pending_[tid] = 0;
+      c = commit_action(tid, a, hooks, true);
+    }
+
+    // Direct dispatch: while this thread's next action is strictly earlier
+    // than every other pending event, commit it inline instead of a heap
+    // round-trip. Strict `<`: an equal-time event already in the heap
+    // carries an older sequence number and must win the tie, exactly as
+    // it would in the reference loop.
+    while (c == Commit::advanced) {
+      const cycle_t next_t = pending_[tid].time;
+      if (!heap_.empty() && next_t >= heap_.front().time) {
+        push_event(next_t, tid);
+        break;
+      }
+      HLSPROF_CHECK(next_t <= params_.max_cycles,
+                    "simulation exceeded max_cycles (livelock guard)");
+      ++fast_stats_.direct_dispatch;
+      const Action a = pending_[tid];
+      has_pending_[tid] = 0;
+      c = commit_action(tid, a, hooks, true);
+    }
+  }
 }
 
 SimResult Simulator::run(SimHooks* hooks) {
@@ -193,16 +352,18 @@ SimResult Simulator::run(SimHooks* hooks) {
   // All threads are idle until the host starts them, one by one, through
   // the Avalon slave (paper §V-D: software start overhead).
   interps_.clear();
-  pending_.assign(static_cast<std::size_t>(T), std::nullopt);
-  started_.assign(static_cast<std::size_t>(T), false);
+  pending_.assign(static_cast<std::size_t>(T), Action{});
+  has_pending_.assign(static_cast<std::size_t>(T), 0);
+  started_.assign(static_cast<std::size_t>(T), 0);
   stats_.assign(static_cast<std::size_t>(T), ThreadStats{});
   heap_.clear();
   seq_ = 0;
   finished_count_ = 0;
+  fast_stats_ = FastPathStats{};
 
   for (int t = 0; t < T; ++t) {
-    interps_.push_back(std::make_unique<ThreadInterp>(
-        d_, arg_values_, thread_id_t(t), mem_, params_, hooks));
+    interps_.emplace_back(d_, arg_values_, thread_id_t(t), mem_, params_,
+                          hooks);
     emit_state(hooks, thread_id_t(t), ThreadState::idle, 0);
     const cycle_t start_at =
         result.kernel_start +
@@ -211,108 +372,13 @@ SimResult Simulator::run(SimHooks* hooks) {
     push_event(start_at, thread_id_t(t));
   }
 
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    const Event ev = heap_.back();
-    heap_.pop_back();
-    HLSPROF_CHECK(ev.time <= params_.max_cycles,
-                  "simulation exceeded max_cycles (livelock guard)");
-    const thread_id_t tid = ev.tid;
-
-    if (!started_[tid]) {
-      started_[tid] = true;
-      emit_state(hooks, tid, ThreadState::running, ev.time);
-      interps_[tid]->start(ev.time);
-      advance(tid, hooks);
-      continue;
-    }
-
-    HLSPROF_CHECK(pending_[tid].has_value(), "event without pending action");
-    const Action a = *pending_[tid];
-    pending_[tid].reset();
-
-    switch (a.kind) {
-      case Action::Kind::mem: {
-        MemTiming tm;
-        if (a.is_preload) {
-          // The preloader DMA issues back-to-back line requests on its own
-          // bus master; the requesting thread resumes when the last line
-          // has arrived.
-          const addr_t line = params_.dram.line_bytes;
-          const addr_t first_line = a.addr / line;
-          const addr_t last_line = (a.addr + a.bytes - 1) / line;
-          cycle_t t = a.time;
-          bool first = true;
-          for (addr_t l = first_line; l <= last_line; ++l) {
-            const MemTiming part =
-                mem_.access(t, l * line, std::uint32_t(line), false);
-            if (first) {
-              tm.accepted = part.accepted;
-              tm.row_hit = part.row_hit;
-              first = false;
-            }
-            tm.complete = std::max(tm.complete, part.complete);
-            t = part.accepted + 1;
-          }
-        } else {
-          tm = mem_.access(a.time, a.addr, a.bytes, a.is_write);
-        }
-        if (hooks != nullptr) {
-          hooks->on_mem(tid, tm.accepted, a.bytes, a.is_write);
-        }
-        interps_[tid]->mem_done(tm);
-        advance(tid, hooks);
-        break;
-      }
-      case Action::Kind::acquire: {
-        emit_state(hooks, tid, ThreadState::spinning, a.time);
-        const auto grant = sem_.acquire(a.lock_id, tid, a.time);
-        if (grant.has_value()) {
-          emit_state(hooks, tid, ThreadState::critical, *grant);
-          interps_[tid]->lock_granted(*grant);
-          advance(tid, hooks);
-        }
-        // else: parked; the grant arrives from a future release.
-        break;
-      }
-      case Action::Kind::release: {
-        const auto r = sem_.release(a.lock_id, tid, a.time);
-        emit_state(hooks, tid, ThreadState::running, a.time);
-        if (r.granted.has_value()) {
-          const auto [waiter, gt] = *r.granted;
-          emit_state(hooks, waiter, ThreadState::critical, gt);
-          interps_[waiter]->lock_granted(gt);
-          advance(waiter, hooks);
-        }
-        interps_[tid]->release_done(r.release_done);
-        advance(tid, hooks);
-        break;
-      }
-      case Action::Kind::barrier: {
-        emit_state(hooks, tid, ThreadState::spinning, a.time);
-        auto done = barrier_.arrive(tid, a.time);
-        if (done.has_value()) {
-          const auto& [when, released] = *done;
-          for (thread_id_t w : released) {
-            emit_state(hooks, w, ThreadState::running, when);
-            interps_[w]->barrier_released(when);
-            advance(w, hooks);
-          }
-        }
-        break;
-      }
-      case Action::Kind::finished: {
-        emit_state(hooks, tid, ThreadState::idle, a.time);
-        ThreadStats& st = stats_[tid];
-        st.end = a.time;
-        st.stall_cycles = interps_[tid]->stall_cycles();
-        st.int_ops = interps_[tid]->int_ops();
-        st.fp_ops = interps_[tid]->fp_ops();
-        st.ext_loads = interps_[tid]->ext_loads();
-        st.ext_stores = interps_[tid]->ext_stores();
-        ++finished_count_;
-        break;
-      }
+  if (params_.reference_event_loop) {
+    run_reference(hooks);
+  } else {
+    run_fast(hooks);
+    for (const ThreadInterp& ti : interps_) {
+      fast_stats_.batched_mem +=
+          static_cast<std::uint64_t>(ti.batched_mem());
     }
   }
 
@@ -345,6 +411,10 @@ SimResult Simulator::run(SimHooks* hooks) {
     reg.counter("sim.cycles", "cycles")
         .add(static_cast<long long>(result.total_cycles));
     reg.counter("sim.host_us", "us").add(static_cast<long long>(host_us));
+    reg.counter("sim.direct_dispatch")
+        .add(static_cast<long long>(fast_stats_.direct_dispatch));
+    reg.counter("sim.batched_mem")
+        .add(static_cast<long long>(fast_stats_.batched_mem));
     if (host_us > 0) {
       reg.gauge("sim.cycles_per_sec", "cycles/s")
           .set(double(result.total_cycles) / (double(host_us) / 1e6));

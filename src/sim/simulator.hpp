@@ -5,10 +5,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <optional>
+#include <deque>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hls/design.hpp"
@@ -93,7 +93,21 @@ class Simulator {
   /// Run the kernel once. `hooks` may be null (run without profiling).
   /// Throws hlsprof::Error on unbound arguments, kernel faults
   /// (out-of-bounds, div-by-zero), deadlock, or cycle-limit overrun.
+  ///
+  /// Two execution modes produce cycle-exact identical results: the fast
+  /// path (default — direct dispatch plus batched memory streams) and the
+  /// reference event loop (`SimParams::reference_event_loop`), which
+  /// commits every shared-resource action through the global event heap.
   SimResult run(SimHooks* hooks = nullptr);
+
+  /// How often the previous run() stayed on the fast path. Zeros after a
+  /// reference-mode run; intentionally *not* part of SimResult so result
+  /// fields stay identical between the two modes.
+  struct FastPathStats {
+    std::uint64_t direct_dispatch = 0;  // actions committed without the heap
+    std::uint64_t batched_mem = 0;      // memory requests committed inline
+  };
+  FastPathStats fast_path_stats() const { return fast_stats_; }
 
   const hls::Design& design() const { return d_; }
   const SimParams& params() const { return params_; }
@@ -115,14 +129,28 @@ class Simulator {
     }
   };
 
+  /// What committing one action did to its thread.
+  enum class Commit : std::uint8_t {
+    advanced,  // the thread produced its next action (in pending_[tid])
+    parked,    // the thread blocked (semaphore queue / barrier)
+    finished,  // the thread completed the kernel
+  };
+
   int arg_index(const std::string& name) const;
   void bind_pointer(const std::string& name, void* data, std::size_t elems,
                     ir::Scalar expect);
   cycle_t copy_in(cycle_t t);
   cycle_t copy_out(cycle_t t);
+  cycle_t transfer_cycles(std::size_t bytes) const;
   std::vector<HostTransfer> transfers_;
   void push_event(cycle_t t, thread_id_t tid);
-  void advance(thread_id_t tid, SimHooks* hooks);
+  void advance(thread_id_t tid, bool allow_batching);
+  void start_thread(thread_id_t tid, cycle_t t, SimHooks* hooks,
+                    bool allow_batching);
+  Commit commit_action(thread_id_t tid, const Action& a, SimHooks* hooks,
+                       bool allow_batching);
+  void run_reference(SimHooks* hooks);
+  void run_fast(SimHooks* hooks);
   void emit_state(SimHooks* hooks, thread_id_t tid, ThreadState s, cycle_t t);
 
   const hls::Design& d_;
@@ -133,14 +161,20 @@ class Simulator {
 
   std::vector<BoundArg> bound_;
   std::vector<ArgValue> arg_values_;
+  std::unordered_map<std::string, int> arg_index_;
 
-  std::vector<std::unique_ptr<ThreadInterp>> interps_;
-  std::vector<std::optional<Action>> pending_;
-  std::vector<bool> started_;
+  // Flat per-thread storage: interpreters live in a deque (stable
+  // addresses, no per-thread unique_ptr hop) and the pending-action slot
+  // is a plain Action plus a presence flag instead of std::optional.
+  std::deque<ThreadInterp> interps_;
+  std::vector<Action> pending_;
+  std::vector<char> has_pending_;
+  std::vector<char> started_;
   std::vector<Event> heap_;
   std::uint64_t seq_ = 0;
   int finished_count_ = 0;
   std::vector<ThreadStats> stats_;
+  FastPathStats fast_stats_;
 };
 
 }  // namespace hlsprof::sim

@@ -51,6 +51,18 @@ TEST(Memory, AllocationExhaustionThrows) {
   EXPECT_THROW(mem.allocate("b", 200), Error);
 }
 
+TEST(Memory, HugeAllocationDoesNotOverflow) {
+  // `aligned + bytes` used to wrap around addr_t for near-SIZE_MAX
+  // requests, making the bounds check pass and allocate() hand out an
+  // address far past capacity. Must throw instead.
+  ExternalMemory mem(default_params(), 1 << 16);
+  EXPECT_THROW(mem.allocate("huge", ~std::size_t{0} - 32), Error);
+  EXPECT_THROW(mem.allocate("huge2", ~std::size_t{0}), Error);
+  // The failed attempts must not corrupt the allocator.
+  const addr_t a = mem.allocate("ok", 128);
+  EXPECT_EQ(a % 64, 0u);
+}
+
 TEST(Memory, RowMissThenHit) {
   DramParams p;
   ExternalMemory mem(p, 1 << 20);
