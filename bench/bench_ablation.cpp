@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/strings.hpp"
 #include "core/hlsprof.hpp"
 #include "runner/runner.hpp"
@@ -29,6 +30,10 @@
 using namespace hlsprof;
 
 namespace {
+
+/// Optional persistent design cache (--cache-dir / HLSPROF_CACHE_DIR):
+/// repeated bench invocations skip the HLS compiles entirely.
+std::string g_cache_dir;
 
 runner::JobSpec gemm_job(const std::string& name,
                          ir::Kernel (*build)(const workloads::GemmConfig&),
@@ -70,6 +75,7 @@ void ablation_sampling_period(int dim, int workers) {
 
   runner::BatchOptions bopts;
   bopts.workers = workers;
+  bopts.cache_dir = g_cache_dir;
   const runner::BatchResult result = batch.run(bopts);
   const cycle_t clean = result.jobs[0].kernel_cycles;
 
@@ -112,6 +118,7 @@ void ablation_buffer_depth(int dim, int workers) {
 
   runner::BatchOptions bopts;
   bopts.workers = workers;
+  bopts.cache_dir = g_cache_dir;
   const runner::BatchResult result = batch.run(bopts);
   const cycle_t clean = result.jobs[0].kernel_cycles;
 
@@ -218,6 +225,8 @@ BENCHMARK(BM_profiled_vs_clean)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const int workers = 8;
+  g_cache_dir = benchutil::str_flag(&argc, argv, "cache-dir",
+                                    "HLSPROF_CACHE_DIR", "");
   ablation_sampling_period(96, workers);
   ablation_buffer_depth(64, workers);
   ablation_thread_reordering();

@@ -1,0 +1,116 @@
+// Persistent design-cache benchmark: wall-clock to materialize a thread
+// sweep of vectorized GEMM designs cold (compile + write-through to the
+// on-disk store) versus warm (a fresh cache over the same directory, so
+// every design deserializes from disk instead of compiling). Exits
+// non-zero if the warm start is not faster than the cold one — the perf
+// contract that makes --cache-dir worth having, enforced by CI.
+//
+// Plain main() instead of google-benchmark: the run IS the measurement
+// (one sweep per rep, best-of-reps), and CI consumes the emitted
+// BENCH_cache.json. Flags: --dim=N --reps=N --out=PATH --cache-dir=DIR.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "runner/design_cache.hpp"
+#include "workloads/gemm.hpp"
+
+using namespace hlsprof;
+
+namespace {
+
+constexpr int kThreadSweep[] = {1, 2, 4, 8, 16};
+
+ir::Kernel sweep_kernel(int dim, int threads) {
+  workloads::GemmConfig cfg;
+  cfg.dim = dim;
+  cfg.threads = threads;
+  return workloads::gemm_vectorized(cfg);
+}
+
+/// One sweep through a fresh cache over `dir`; every request must come
+/// back the `expect_disk_hit` way or the measurement is meaningless.
+double time_sweep(const std::string& dir, int dim, bool expect_disk_hit) {
+  runner::DesignCache cache;
+  cache.attach_disk({dir, 0});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int threads : kThreadSweep) {
+    auto e = cache.get_or_compile(sweep_kernel(dim, threads), {});
+    if (e.design == nullptr || e.hit || e.disk_hit != expect_disk_hit) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%d expected disk_hit=%d, got hit=%d "
+                   "disk_hit=%d\n",
+                   threads, int(expect_disk_hit), int(e.hit),
+                   int(e.disk_hit));
+      std::exit(2);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int dim =
+      benchutil::int_flag(&argc, argv, "dim", "HLSPROF_CACHE_BENCH_DIM", 64);
+  const int reps =
+      benchutil::int_flag(&argc, argv, "reps", "HLSPROF_CACHE_BENCH_REPS", 3);
+  const std::string out = benchutil::str_flag(
+      &argc, argv, "out", nullptr, "BENCH_cache.json");
+  const std::string dir = benchutil::str_flag(
+      &argc, argv, "cache-dir", nullptr, "bench_cache.store");
+
+  namespace fs = std::filesystem;
+  double cold_best = 0.0;
+  double warm_best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    // Cold: empty directory, every design compiles and is written back.
+    fs::remove_all(dir);
+    const double cold = time_sweep(dir, dim, /*expect_disk_hit=*/false);
+    // Warm: same directory, fresh cache — every design loads from disk.
+    const double warm = time_sweep(dir, dim, /*expect_disk_hit=*/true);
+    if (r == 0 || cold < cold_best) cold_best = cold;
+    if (r == 0 || warm < warm_best) warm_best = warm;
+  }
+  std::uint64_t bytes_on_disk = 0;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    bytes_on_disk += std::uint64_t(de.file_size());
+  }
+  fs::remove_all(dir);
+
+  const std::size_t designs = std::size(kThreadSweep);
+  const double speedup = warm_best > 0 ? cold_best / warm_best : 0.0;
+  std::printf("gemm %dx%d, %zu designs: cold %.1f ms (compile), warm %.1f "
+              "ms (deserialize) -> %.1fx | %llu bytes on disk\n",
+              dim, dim, designs, 1e3 * cold_best, 1e3 * warm_best, speedup,
+              static_cast<unsigned long long>(bytes_on_disk));
+
+  const std::string json = strf(
+      "{\n  \"dim\": %d,\n  \"reps\": %d,\n  \"designs\": %zu,\n"
+      "  \"cold_seconds\": %.6f,\n  \"warm_seconds\": %.6f,\n"
+      "  \"speedup\": %.3f,\n  \"bytes_on_disk\": %llu\n}\n",
+      dim, reps, designs, cold_best, warm_best, speedup,
+      static_cast<unsigned long long>(bytes_on_disk));
+  if (std::FILE* f = std::fopen(out.c_str(), "wb")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+
+  if (warm_best >= cold_best) {
+    std::fprintf(stderr,
+                 "FAIL: warm start (%.1f ms) not faster than cold compile "
+                 "(%.1f ms)\n",
+                 1e3 * warm_best, 1e3 * cold_best);
+    return 1;
+  }
+  return 0;
+}

@@ -29,4 +29,25 @@ inline int int_flag(int* argc, char** argv, const char* name, const char* env,
   return out;
 }
 
+/// Extract `--<name>=<string>` from argv (removing it so google-benchmark
+/// does not reject it); falls back to env var `env`, then `fallback`.
+inline std::string str_flag(int* argc, char** argv, const char* name,
+                            const char* env, const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  std::string out = fallback;
+  if (env != nullptr) {
+    if (const char* e = std::getenv(env)) out = e;
+  }
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      out = argv[i] + prefix.size();
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return out;
+}
+
 }  // namespace hlsprof::benchutil

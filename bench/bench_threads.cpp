@@ -28,6 +28,10 @@ namespace {
 
 constexpr int kThreadSweep[] = {1, 2, 4, 8, 16};
 
+/// Optional persistent design cache (--cache-dir / HLSPROF_CACHE_DIR):
+/// repeated bench invocations skip the HLS compiles entirely.
+std::string g_cache_dir;
+
 runner::Batch make_sweep(int dim) {
   runner::Batch batch;
   for (int threads : kThreadSweep) {
@@ -65,10 +69,12 @@ void run_study(int dim, int workers) {
 
   runner::BatchOptions seq;
   seq.workers = 1;
+  seq.cache_dir = g_cache_dir;
   const runner::BatchResult sequential = batch.run(seq);
 
   runner::BatchOptions par;
   par.workers = workers;
+  par.cache_dir = g_cache_dir;
   const runner::BatchResult parallel = batch.run(par);
 
   std::printf("%-8s %16s %10s %14s %12s\n", "threads", "kernel cycles",
@@ -137,6 +143,8 @@ int main(int argc, char** argv) {
       benchutil::int_flag(&argc, argv, "dim", "HLSPROF_THREADS_DIM", 128);
   const int workers =
       benchutil::int_flag(&argc, argv, "workers", "HLSPROF_WORKERS", 8);
+  g_cache_dir = benchutil::str_flag(&argc, argv, "cache-dir",
+                                    "HLSPROF_CACHE_DIR", "");
   run_study(dim, workers);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,26 @@
+#include "common/bytes.hpp"
+
+#include "common/error.hpp"
+
+namespace hlsprof {
+
+ByteWriter& ByteWriter::str(std::string_view s) {
+  u32(std::uint32_t(s.size()));
+  return bytes(s.data(), s.size());
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  const std::string_view v = view(n);
+  return std::string(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (n > data_.size() - pos_) {
+    fail("bytes: truncated read (" + std::to_string(n) + " wanted, " +
+         std::to_string(data_.size() - pos_) + " left at offset " +
+         std::to_string(pos_) + ")");
+  }
+}
+
+}  // namespace hlsprof

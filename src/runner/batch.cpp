@@ -145,6 +145,9 @@ BatchResult Batch::run(const BatchOptions& options) const {
 
   DesignCache local_cache;
   DesignCache& cache = options.cache != nullptr ? *options.cache : local_cache;
+  if (!options.cache_dir.empty() && cache.disk() == nullptr) {
+    cache.attach_disk({options.cache_dir, options.cache_max_bytes});
+  }
   const CacheStats before = cache.stats();
 
   const auto t0 = std::chrono::steady_clock::now();

@@ -22,6 +22,15 @@ struct BatchOptions {
   /// Share a cache across batches (e.g. a sweep driver reusing designs);
   /// null = a batch-local cache.
   DesignCache* cache = nullptr;
+  /// Non-empty: attach a persistent on-disk tier (DiskDesignStore) at
+  /// this directory to the cache the run uses, so compiled designs
+  /// survive the process and a warm re-run performs zero compiles. A
+  /// shared cache that already has a disk tier keeps it (the directory
+  /// here is ignored in that case).
+  std::string cache_dir;
+  /// LRU size cap for the on-disk tier (bytes, evicted on open);
+  /// 0 = unbounded. Only meaningful with a non-empty cache_dir.
+  std::uint64_t cache_max_bytes = 0;
 };
 
 struct BatchResult {

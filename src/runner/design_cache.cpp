@@ -111,11 +111,37 @@ DesignCache::Entry DesignCache::get_or_compile(
 
   if (compile_here) {
     if (reg.enabled()) CacheMetrics::get().misses.add(1);
+    std::shared_ptr<DiskDesignStore> disk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disk = disk_;
+    }
     try {
+      // Tier 2: a deserialized entry replaces the compile entirely. Any
+      // kind of bad entry (truncated, corrupt, stale build) is a plain
+      // nullptr here, and the compile below rewrites it.
+      std::shared_ptr<const hls::Design> from_disk =
+          disk != nullptr ? disk->load(entry.key) : nullptr;
+      if (from_disk != nullptr) {
+        entry.disk_hit = true;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.disk_hits;
+        }
+        promise.set_value(std::move(from_disk));
+        entry.design = future.get();
+        return entry;
+      }
+      if (disk != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_misses;
+      }
       telemetry::Span span(reg, "cache.compile", "runner");
       const std::uint64_t t0 = reg.enabled() ? reg.now_us() : 0;
-      promise.set_value(std::make_shared<const hls::Design>(
-          hls::compile(std::move(kernel), options)));
+      auto compiled = std::make_shared<const hls::Design>(
+          hls::compile(std::move(kernel), options));
+      if (disk != nullptr) disk->store(entry.key, *compiled);
+      promise.set_value(std::move(compiled));
       if (reg.enabled()) {
         std::lock_guard<std::mutex> lock(mu_);
         compile_us_[entry.key] = reg.now_us() - t0;
@@ -150,6 +176,19 @@ DesignCache::Entry DesignCache::get_or_compile(
     }
   }
   return entry;
+}
+
+void DesignCache::attach_disk(DiskDesignStore::Options options) {
+  // Construct outside the lock: opening runs directory creation and the
+  // eviction pass, neither of which needs (or should hold) the map mutex.
+  auto store = std::make_shared<DiskDesignStore>(std::move(options));
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_ = std::move(store);
+}
+
+std::shared_ptr<const DiskDesignStore> DesignCache::disk() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_;
 }
 
 CacheStats DesignCache::stats() const {

@@ -35,7 +35,7 @@ const std::vector<std::string> kSweepKeys = {
 const std::vector<std::string> kScalarKeys = {
     "workload", "profiling", "thread_start_interval", "max_cycles",
     "workers",  "seed",      "verify",                "out",
-    "label"};
+    "label",    "cache_dir", "cache_max_bytes"};
 
 bool known_key(const std::string& k) {
   for (const auto& s : kSweepKeys) {
@@ -286,6 +286,11 @@ ManifestRun parse_manifest(const std::string& text) {
   run.options.workers = int(parse_int("workers", scalar(keys, "workers", "0")));
   run.options.seed =
       std::uint64_t(parse_int("seed", scalar(keys, "seed", "1")));
+  run.options.cache_dir = scalar(keys, "cache_dir", "");
+  const std::int64_t cache_max =
+      parse_int("cache_max_bytes", scalar(keys, "cache_max_bytes", "0"));
+  if (cache_max < 0) fail("manifest: cache_max_bytes must be >= 0");
+  run.options.cache_max_bytes = std::uint64_t(cache_max);
 
   const bool profiling =
       parse_on_off("profiling", scalar(keys, "profiling", "on"));

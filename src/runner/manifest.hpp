@@ -19,7 +19,9 @@
 // version, dim, threads, block, vector_len, steps, unroll, n,
 // sampling_period, buffer_lines, thread_reordering. Scalar keys:
 // workload, profiling (on|off), thread_start_interval, max_cycles,
-// workers, seed, verify (on|off), out, label.
+// workers, seed, verify (on|off), out, label, cache_dir,
+// cache_max_bytes (the persistent design-cache location and LRU cap —
+// see docs/CACHING.md; CLI --cache-dir/--cache-max-bytes override).
 #pragma once
 
 #include <string>

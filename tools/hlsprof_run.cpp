@@ -1,6 +1,7 @@
 // hlsprof-run — execute a sweep manifest through the batch runner.
 //
 //   hlsprof-run sweep.manifest [--workers=N] [--out=PREFIX] [--seed=S]
+//                              [--cache-dir=DIR] [--cache-max-bytes=N]
 //                              [--canonical] [--json] [--quiet]
 //                              [--telemetry-out=FILE] [--chrome-trace=FILE]
 //                              [--version] [--help]
@@ -10,6 +11,11 @@
 //   --out=PREFIX         write PREFIX.json + PREFIX.csv (overrides manifest
 //                        `out`)
 //   --seed=S             override the manifest's batch seed
+//   --cache-dir=DIR      persist compiled designs in DIR (created if
+//                        missing) so repeated runs skip recompilation;
+//                        default off. See docs/CACHING.md.
+//   --cache-max-bytes=N  LRU size cap for --cache-dir (evicted when the
+//                        cache is opened); 0 = unbounded
 //   --canonical          deterministic report: omit wall-clock + per-job
 //                        cache_hit
 //   --json               print the JSON report to stdout
@@ -50,10 +56,12 @@ int usage(const ArgParser& parser, std::FILE* to) {
 
 int main(int argc, char** argv) {
   std::string out_override;
+  std::string cache_dir;
   std::string telemetry_out;
   std::string chrome_trace;
   long long workers_override = -1;
   long long seed_override = -1;
+  long long cache_max_bytes = -1;
   bool canonical = false;
   bool print_json = false;
   bool quiet = false;
@@ -67,6 +75,12 @@ int main(int argc, char** argv) {
       .option("out", &out_override,
               "write VALUE.json + VALUE.csv (overrides manifest `out`)")
       .option_int("seed", &seed_override, "override the manifest's batch seed")
+      .option("cache-dir", &cache_dir,
+              "persist compiled designs in VALUE so repeated runs skip "
+              "recompilation (default off)")
+      .option_int("cache-max-bytes", &cache_max_bytes,
+                  "LRU size cap for --cache-dir, evicted on open "
+                  "(0 = unbounded)")
       .flag("canonical", &canonical,
             "deterministic report: omit wall-clock + per-job cache_hit")
       .flag("json", &print_json, "print the JSON report to stdout")
@@ -111,8 +125,21 @@ int main(int argc, char** argv) {
   if (workers_override >= 0) run.options.workers = int(workers_override);
   if (seed_override >= 0) run.options.seed = std::uint64_t(seed_override);
   if (!out_override.empty()) run.out_prefix = out_override;
+  if (!cache_dir.empty()) run.options.cache_dir = cache_dir;
+  if (cache_max_bytes >= 0) {
+    run.options.cache_max_bytes = std::uint64_t(cache_max_bytes);
+  }
 
-  const runner::BatchResult result = run.batch.run(run.options);
+  runner::BatchResult result;
+  try {
+    result = run.batch.run(run.options);
+  } catch (const std::exception& e) {
+    // Runner-internal failure (e.g. the cache directory cannot be
+    // created) — a configuration error, unlike per-job failures, which
+    // land in the report.
+    std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+    return 2;
+  }
 
   runner::ReportOptions ropts;
   ropts.canonical = canonical;
