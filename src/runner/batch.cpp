@@ -1,7 +1,9 @@
 #include "runner/batch.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <utility>
 
 #include "common/error.hpp"
@@ -138,7 +140,9 @@ BatchResult Batch::run(const BatchOptions& options) const {
   telemetry::Span batch_span(reg, "batch.run", "runner");
   BatchResult result;
   result.jobs.resize(jobs_.size());
-  result.workers = Pool::resolve_workers(options.workers);
+  result.workers = options.pool != nullptr
+                       ? options.pool->workers()
+                       : Pool::resolve_workers(options.workers);
   if (reg.enabled()) {
     reg.gauge("runner.workers", "threads").set(double(result.workers));
   }
@@ -151,7 +155,29 @@ BatchResult Batch::run(const BatchOptions& options) const {
   const CacheStats before = cache.stats();
 
   const auto t0 = std::chrono::steady_clock::now();
-  {
+  if (options.pool != nullptr) {
+    // Shared-pool mode: the pool serves other batches too, so Pool::wait()
+    // (which waits for global idleness) is wrong — track completion of
+    // exactly this batch's tasks.
+    struct Remaining {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t n;
+    } remaining{{}, {}, jobs_.size()};
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      const JobSpec& spec = jobs_[i];
+      JobResult& slot = result.jobs[i];
+      const std::uint64_t seed =
+          spec.seed != 0 ? spec.seed : job_seed(options.seed, int(i));
+      options.pool->submit([&spec, &slot, &cache, &remaining, i, seed] {
+        slot = run_job(spec, int(i), seed, cache);
+        std::lock_guard<std::mutex> lock(remaining.mu);
+        if (--remaining.n == 0) remaining.cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(remaining.mu);
+    remaining.cv.wait(lock, [&remaining] { return remaining.n == 0; });
+  } else {
     Pool pool(result.workers);
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
       const JobSpec& spec = jobs_[i];

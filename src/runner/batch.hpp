@@ -10,11 +10,12 @@
 
 #include "runner/design_cache.hpp"
 #include "runner/job.hpp"
+#include "runner/pool.hpp"
 
 namespace hlsprof::runner {
 
 struct BatchOptions {
-  /// 0 = one worker per hardware thread.
+  /// 0 = one worker per hardware thread. Ignored when `pool` is set.
   int workers = 0;
   /// Base seed; job i runs with SplitMix64 seeded from (seed, i) unless
   /// its spec pins an explicit seed.
@@ -31,6 +32,13 @@ struct BatchOptions {
   /// LRU size cap for the on-disk tier (bytes, evicted on open);
   /// 0 = unbounded. Only meaningful with a non-empty cache_dir.
   std::uint64_t cache_max_bytes = 0;
+  /// Run the batch's jobs on this already-running pool instead of
+  /// creating one per run() call — the serving daemon's mode, where one
+  /// resident pool executes every request's jobs and worker threads are
+  /// never re-created per request. run() still blocks until exactly this
+  /// batch's jobs finish (other work sharing the pool is not waited on).
+  /// Null = the classic per-run pool of `workers` threads.
+  Pool* pool = nullptr;
 };
 
 struct BatchResult {

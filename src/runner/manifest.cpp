@@ -19,9 +19,10 @@ namespace hlsprof::runner {
 namespace {
 
 // One key's values plus declaration order (sweep order must follow the
-// manifest, not map iteration).
+// manifest, not map iteration) and source position for error messages.
 struct KeyValues {
   int order = 0;
+  int line = 0;  // 1-based manifest line the key was declared on
   std::vector<std::string> values;
 };
 
@@ -37,59 +38,109 @@ const std::vector<std::string> kScalarKeys = {
     "workers",  "seed",      "verify",                "out",
     "label",    "cache_dir", "cache_max_bytes"};
 
-bool known_key(const std::string& k) {
-  for (const auto& s : kSweepKeys) {
-    if (s == k) return true;
-  }
-  for (const auto& s : kScalarKeys) {
+// Every integer-valued key, sweep or scalar: validated eagerly at parse
+// time so a bad value is reported with its manifest line, not from deep
+// inside job construction.
+const std::vector<std::string> kIntKeys = {
+    "dim", "threads", "block", "vector_len", "steps", "unroll", "n",
+    "sampling_period", "buffer_lines", "workers", "seed",
+    "thread_start_interval", "max_cycles", "cache_max_bytes"};
+
+const std::vector<std::string> kOnOffKeys = {"profiling", "verify",
+                                             "thread_reordering"};
+
+bool contains(const std::vector<std::string>& list, const std::string& k) {
+  for (const auto& s : list) {
     if (s == k) return true;
   }
   return false;
 }
 
-std::int64_t parse_int(const std::string& key, const std::string& v) {
+bool known_key(const std::string& k) {
+  return contains(kSweepKeys, k) || contains(kScalarKeys, k);
+}
+
+/// "manifest:<line>: " prefix when the line is known; plain "manifest: "
+/// otherwise (values that reached us without source position).
+std::string at(int line) {
+  return line > 0 ? "manifest:" + std::to_string(line) + ": " : "manifest: ";
+}
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const std::string& expected, int line) {
+  fail(at(line) + "key '" + key + "': expected " + expected + ", got \"" +
+       value + "\"");
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& v,
+                       int line = 0) {
   try {
     std::size_t used = 0;
     const long long out = std::stoll(v, &used);
-    if (used != v.size()) fail("manifest: bad integer for " + key + ": " + v);
+    if (used != v.size()) bad_value(key, v, "an integer", line);
     return out;
   } catch (const Error&) {
     throw;
   } catch (const std::exception&) {
-    fail("manifest: bad integer for " + key + ": " + v);
+    bad_value(key, v, "an integer", line);
   }
 }
 
-bool parse_on_off(const std::string& key, const std::string& v) {
+bool parse_on_off(const std::string& key, const std::string& v,
+                  int line = 0) {
   if (v == "on" || v == "true" || v == "1") return true;
   if (v == "off" || v == "false" || v == "0") return false;
-  fail("manifest: expected on/off for " + key + ", got: " + v);
+  bad_value(key, v, "on/off", line);
 }
 
 KeyMap parse_keys(const std::string& text) {
   KeyMap keys;
   int order = 0;
+  int lineno = 0;
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
+    ++lineno;
+    const std::string raw = trim(line);
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
     line = trim(line);
     if (line.empty()) continue;
     const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) fail("manifest: expected key = value: " + line);
+    if (eq == std::string::npos) {
+      fail(at(lineno) + "expected `key = value`, got \"" + raw + "\"");
+    }
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
-    if (!known_key(key)) fail("manifest: unknown key: " + key);
-    if (keys.count(key) != 0) fail("manifest: duplicate key: " + key);
+    if (!known_key(key)) {
+      fail(at(lineno) + "unknown key '" + key + "' (sweep keys: " +
+           join(kSweepKeys, ", ") + "; scalar keys: " +
+           join(kScalarKeys, ", ") + ")");
+    }
+    if (keys.count(key) != 0) {
+      fail(at(lineno) + "duplicate key '" + key + "' (first declared on line " +
+           std::to_string(keys[key].line) + ")");
+    }
     KeyValues kv;
     kv.order = order++;
+    kv.line = lineno;
     for (const std::string& part : split(value, ',')) {
       const std::string v = trim(part);
       if (!v.empty()) kv.values.push_back(v);
     }
-    if (kv.values.empty()) fail("manifest: empty value for key: " + key);
+    if (kv.values.empty()) {
+      fail(at(lineno) + "key '" + key + "' has an empty value");
+    }
     keys[key] = kv;
+  }
+  // Eager type validation: report bad values against their source line
+  // while we still know it.
+  for (const auto& [key, kv] : keys) {
+    if (contains(kIntKeys, key)) {
+      for (const auto& v : kv.values) parse_int(key, v, kv.line);
+    } else if (contains(kOnOffKeys, key)) {
+      for (const auto& v : kv.values) parse_on_off(key, v, kv.line);
+    }
   }
   return keys;
 }
@@ -102,7 +153,10 @@ std::string scalar(const KeyMap& keys, const std::string& key,
   auto it = keys.find(key);
   if (it == keys.end()) return fallback;
   if (it->second.values.size() != 1) {
-    fail("manifest: key " + key + " must have a single value");
+    fail(at(it->second.line) + "key '" + key +
+         "' must have a single value, got " +
+         std::to_string(it->second.values.size()) + " (" +
+         join(it->second.values, ", ") + ")");
   }
   return it->second.values[0];
 }
@@ -127,7 +181,13 @@ const workloads::GemmVersion& gemm_version_named(const std::string& name) {
   for (const auto& v : versions) {
     if (v.name == name) return v;
   }
-  fail("manifest: unknown gemm version: " + name);
+  std::string known;
+  for (const auto& [alias, idx] : kAlias) {
+    (void)idx;
+    known += (known.empty() ? "" : ", ") + alias;
+  }
+  fail("manifest: key 'version': unknown gemm version \"" + name +
+       "\" (known: " + known + ", preloaded)");
 }
 
 std::string combo_suffix(const Combo& c,
@@ -274,10 +334,11 @@ ManifestRun parse_manifest(const std::string& text) {
   const KeyMap keys = parse_keys(text);
 
   const std::string workload = scalar(keys, "workload", "");
-  if (workload.empty()) fail("manifest: missing required key: workload");
+  if (workload.empty()) fail("manifest: missing required key 'workload'");
   if (workload != "gemm" && workload != "pi" && workload != "vecadd" &&
       workload != "dot") {
-    fail("manifest: unsupported workload: " + workload);
+    fail(at(keys.at("workload").line) + "key 'workload': unsupported value \"" +
+         workload + "\" (known: gemm, pi, vecadd, dot)");
   }
 
   ManifestRun run;

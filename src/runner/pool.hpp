@@ -3,6 +3,13 @@
 // opaque thunks — exception capture and result routing are the Batch
 // layer's responsibility (a worker never dies from a throwing job).
 //
+// Shutdown semantics: the destructor DRAINS — every task submitted
+// before destruction runs to completion before the threads join (no task
+// loss, no deadlock, even with a deep queue). Callers that want to abort
+// instead (e.g. a daemon told to stop hard) call cancel_pending() first,
+// which discards tasks that have not started; in-flight tasks always
+// finish either way.
+//
 // When the telemetry registry is enabled the pool reports queue-wait and
 // task-latency histograms, worker busy time, and a jobs-in-flight gauge,
 // and binds each worker thread to its own span track ("worker-<i>").
@@ -23,7 +30,7 @@ class Pool {
   /// `workers` < 1 is clamped to 1. Threads start immediately.
   explicit Pool(int workers);
 
-  /// Drains nothing: joins after the queue empties (wait() semantics).
+  /// Drains: joins after every already-submitted task has run.
   ~Pool();
 
   Pool(const Pool&) = delete;
@@ -37,6 +44,16 @@ class Pool {
 
   /// Block until every submitted task has finished executing.
   void wait();
+
+  /// Discard every task still waiting in the queue (none of them will
+  /// run) and return how many were dropped. In-flight tasks are
+  /// unaffected — follow with wait() (or the destructor) to quiesce.
+  /// This is the abort half of the drain/cancel distinction: the
+  /// destructor alone finishes all queued work.
+  std::size_t cancel_pending();
+
+  /// Tasks submitted but not yet picked up by a worker (point-in-time).
+  std::size_t pending() const;
 
   /// Pick a worker count: `requested` if > 0, else the hardware
   /// concurrency (at least 1).
@@ -52,7 +69,7 @@ class Pool {
 
   void worker_loop(int index);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks
   std::condition_variable idle_cv_;   // wait() waits for drain
   std::deque<Item> queue_;

@@ -1,0 +1,46 @@
+// Blocking client for the hlsprof serving daemon: connects to the Unix
+// socket, sends one request line, reads one response line. Keeps exactly
+// one request in flight per connection, so responses arrive in order and
+// no id-matching is needed (the protocol supports pipelining for clients
+// that want it — this one deliberately does not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace hlsprof::serve {
+
+class Client {
+ public:
+  /// Connect to a daemon. Throws hlsprof::Error if the socket is missing
+  /// or refuses.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Round-trip one request. Blocks until the daemon responds (a submit
+  /// response arrives when the batch finishes). Throws hlsprof::Error on
+  /// a dropped connection or malformed response.
+  Response call(const Request& request);
+
+  /// Convenience wrappers; `id` is echoed back by the daemon.
+  Response submit(const std::string& manifest_text, const std::string& client,
+                  int priority = 0, std::uint64_t id = 0);
+  Response metrics(std::uint64_t id = 0);
+  Response ping(std::uint64_t id = 0);
+  Response shutdown(std::uint64_t id = 0);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string acc_;  // bytes read past the last newline
+};
+
+}  // namespace hlsprof::serve

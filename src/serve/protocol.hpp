@@ -1,0 +1,91 @@
+// Wire protocol of the hlsprof serving daemon: newline-delimited JSON
+// over a Unix-domain stream socket. Every message — request or response —
+// is exactly one JSON object on one line (the JsonWriter never emits
+// newlines; embedded documents like manifests and reports travel as
+// escaped JSON strings, so arbitrary bytes round-trip exactly).
+//
+// Requests (client -> daemon):
+//   {"op":"submit","id":7,"client":"ci-1","priority":0,
+//    "manifest":"workload = pi\n..."}
+//   {"op":"metrics","id":8}
+//   {"op":"ping","id":9}
+//   {"op":"shutdown","id":10}
+//
+// Responses (daemon -> client) always carry the request's "id" and "ok":
+//   submit ok:  {"id":7,"ok":true,"label":"pi","jobs":3,"ok_jobs":3,
+//                "report":"<canonical report JSON>",
+//                "telemetry":"<hlsprof-telemetry delta JSON>"}
+//   error:      {"id":7,"ok":false,"error":"queue_full",
+//                "message":"queue capacity 64 reached"}
+//   metrics:    {"id":8,"ok":true,"metrics":"<hlsprof-telemetry JSON>"}
+//   ping:       {"id":9,"ok":true,"pong":true,"build":"<stamp>"}
+//   shutdown:   {"id":10,"ok":true,"draining":true}
+//
+// Error codes ("error" field): bad_request, manifest_error, queue_full,
+// client_quota, draining, internal.
+//
+// A client that keeps one request in flight per connection reads
+// responses in request order; a pipelining client must match on "id"
+// (submit responses are written when the job finishes, so they can
+// overtake each other and interleave with inline ping/metrics replies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hlsprof::serve {
+
+struct Request {
+  enum class Op { submit, metrics, ping, shutdown };
+  Op op = Op::ping;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::uint64_t id = 0;
+  /// submit only: quota/fairness bucket (defaults to "anonymous").
+  std::string client = "anonymous";
+  /// submit only: higher runs first.
+  int priority = 0;
+  /// submit only: manifest text (the same format hlsprof-run reads).
+  std::string manifest;
+};
+
+/// Parse one request line. Throws hlsprof::Error on malformed JSON,
+/// unknown "op", or missing/ill-typed fields — the server turns that
+/// into a "bad_request" error response.
+Request parse_request(const std::string& line);
+
+/// Serialize a request (client side). One line, no trailing newline.
+std::string request_line(const Request& request);
+
+// Response builders (one line, no trailing newline).
+std::string submit_ok_response(std::uint64_t id, const std::string& label,
+                               int jobs, int ok_jobs,
+                               const std::string& report_json,
+                               const std::string& telemetry_json);
+std::string error_response(std::uint64_t id, const std::string& code,
+                           const std::string& message);
+std::string metrics_response(std::uint64_t id,
+                             const std::string& snapshot_json);
+std::string ping_response(std::uint64_t id, const std::string& build);
+std::string shutdown_response(std::uint64_t id);
+
+/// Parsed response, client side. Exactly the fields of the wire format;
+/// absent fields are empty/zero.
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string error;    // rejection/error code when !ok
+  std::string message;  // human-readable detail when !ok
+  std::string label;
+  int jobs = 0;
+  int ok_jobs = 0;
+  std::string report;     // canonical batch report bytes
+  std::string telemetry;  // per-request telemetry delta JSON
+  std::string metrics;    // full snapshot JSON (metrics op)
+  std::string build;      // build stamp (ping op)
+  bool draining = false;  // shutdown op
+};
+
+/// Parse one response line. Throws hlsprof::Error on malformed JSON.
+Response parse_response(const std::string& line);
+
+}  // namespace hlsprof::serve

@@ -3,9 +3,15 @@
 // fault isolation, deterministic seeding, timeouts, manifests, reports.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -376,6 +382,239 @@ TEST(RunnerPool, ResolveWorkersClampsToAtLeastOne) {
   EXPECT_GE(runner::Pool::resolve_workers(0), 1);
   EXPECT_EQ(runner::Pool::resolve_workers(-3), 1);
   EXPECT_EQ(runner::Pool::resolve_workers(5), 5);
+}
+
+/// Returns the message a parse failure produces (fails the test if the
+/// manifest parses).
+std::string manifest_error(const std::string& text) {
+  try {
+    runner::parse_manifest(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "manifest unexpectedly parsed: " << text;
+  return "";
+}
+
+TEST(RunnerManifest, ErrorsNameTheLineAndOffendingKey) {
+  // Unknown key: line number, the key, and the full vocabulary.
+  std::string msg = manifest_error("workload = gemm\nbogus = 1\n");
+  EXPECT_NE(msg.find("manifest:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("threads"), std::string::npos)
+      << "should list known keys: " << msg;
+
+  // Bad integer: key, value, and expectation.
+  msg = manifest_error("workload = gemm\ndim = twelve\n");
+  EXPECT_NE(msg.find("manifest:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'dim'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("\"twelve\""), std::string::npos) << msg;
+  EXPECT_NE(msg.find("integer"), std::string::npos) << msg;
+
+  // Bad on/off value.
+  msg = manifest_error("workload = gemm\nverify = yep\n");
+  EXPECT_NE(msg.find("'verify'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("on/off"), std::string::npos) << msg;
+
+  // Missing `=` quotes the raw line.
+  msg = manifest_error("workload = gemm\nno equals sign\n");
+  EXPECT_NE(msg.find("manifest:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("\"no equals sign\""), std::string::npos) << msg;
+
+  // Duplicate key points back at the first declaration.
+  msg = manifest_error("workload = gemm\ndim = 8\n\ndim = 16\n");
+  EXPECT_NE(msg.find("manifest:4:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+
+  // A scalar key given a sweep list reports every value it saw.
+  msg = manifest_error("workload = gemm\nworkers = 2,4\n");
+  EXPECT_NE(msg.find("'workers'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2, 4"), std::string::npos) << msg;
+
+  // Unknown workload lists the supported ones.
+  msg = manifest_error("workload = starship\n");
+  EXPECT_NE(msg.find("\"starship\""), std::string::npos) << msg;
+  EXPECT_NE(msg.find("gemm, pi, vecadd, dot"), std::string::npos) << msg;
+}
+
+// ---- pool drain / cancel ---------------------------------------------------
+
+TEST(RunnerPool, DestructorDrainsQueuedTasksWithoutLoss) {
+  std::atomic<int> ran{0};
+  {
+    runner::Pool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    // No wait(): destruction alone must run everything already submitted.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(RunnerPool, CancelPendingDropsOnlyNotYetStartedTasks) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+
+  runner::Pool pool(1);
+  // Occupy the single worker so everything after stays queued.
+  pool.submit([&] {
+    started = true;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!started) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(pool.pending(), 5u);
+
+  EXPECT_EQ(pool.cancel_pending(), 5u);
+  EXPECT_EQ(pool.pending(), 0u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait();
+  EXPECT_EQ(ran.load(), 0) << "cancelled tasks must not run";
+
+  // The pool still accepts and runs new work after a cancel.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(RunnerPool, DestroyWithQueuedTasksAfterCancelDoesNotDeadlock) {
+  std::atomic<int> ran{0};
+  {
+    runner::Pool pool(1);
+    std::atomic<bool> started{false};
+    pool.submit([&] {
+      started = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    while (!started) std::this_thread::yield();
+    for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    pool.cancel_pending();
+    // Destructor joins cleanly with an emptied queue.
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// ---- batches on a shared resident pool -------------------------------------
+
+TEST(RunnerBatch, ExternalPoolProducesIdenticalCanonicalReport) {
+  const auto build = [](runner::Batch& b) {
+    b.add(small_gemm_job(12, 1));
+    b.add(small_gemm_job(12, 2));
+    b.add(vecadd_job(128));
+  };
+
+  runner::Batch classic;
+  build(classic);
+  runner::BatchOptions classic_options;
+  classic_options.workers = 3;
+  const runner::BatchResult want = classic.run(classic_options);
+
+  runner::Pool pool(3);
+  runner::Batch shared;
+  build(shared);
+  runner::BatchOptions shared_options;
+  shared_options.pool = &pool;
+  const runner::BatchResult got = shared.run(shared_options);
+  EXPECT_EQ(got.workers, 3);
+
+  runner::ReportOptions ro;
+  ro.canonical = true;
+  EXPECT_EQ(runner::report_json(got, ro), runner::report_json(want, ro));
+}
+
+TEST(RunnerBatch, ConcurrentBatchesShareOneCacheWithSingleFlight) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "hlsprof_serve_sharedcache";
+  fs::remove_all(dir);
+
+  const auto build = [](runner::Batch& b) {
+    // Two jobs, ONE unique design: the second must always be a hit.
+    b.add(small_gemm_job(12, 2));
+    b.add(small_gemm_job(12, 2));
+  };
+
+  // Reference: a solo run with its own fresh cache.
+  runner::Batch solo;
+  build(solo);
+  runner::BatchOptions solo_options;
+  solo_options.workers = 2;
+  const runner::BatchResult want = solo.run(solo_options);
+
+  runner::DesignCache cache;
+  runner::DiskDesignStore::Options disk;
+  disk.dir = dir.string();
+  cache.attach_disk(disk);
+
+  runner::BatchResult results[2];
+  std::thread threads[2];
+  for (int i = 0; i < 2; ++i) {
+    threads[i] = std::thread([&, i] {
+      runner::Batch b;
+      build(b);
+      runner::BatchOptions options;
+      options.workers = 2;
+      options.cache = &cache;
+      results[i] = b.run(options);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Single-flight across both concurrent batches: the one shared design
+  // was compiled exactly once, ever.
+  const runner::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.disk_misses, 1) << "the single miss went to a compile";
+
+  // Job payloads are byte-identical to the solo run. Batch-level
+  // hit/miss counts are window deltas over the shared cache, so with
+  // concurrent batches each window also sees the other batch's events
+  // (anywhere from its own 2 up to all 4); normalize them before
+  // comparing report bytes — the serving daemon rebases them per
+  // request for exactly this reason.
+  for (const auto& result : results) {
+    EXPECT_GE(result.cache_hits + result.cache_misses, 2);
+    EXPECT_LE(result.cache_hits + result.cache_misses, 4);
+  }
+  runner::ReportOptions ro;
+  ro.canonical = true;
+  runner::BatchResult normalized_want = want;
+  normalized_want.cache_hits = 0;
+  normalized_want.cache_misses = 0;
+  for (auto& result : results) {
+    runner::BatchResult normalized = result;
+    normalized.cache_hits = 0;
+    normalized.cache_misses = 0;
+    EXPECT_EQ(runner::report_json(normalized, ro),
+              runner::report_json(normalized_want, ro));
+  }
+
+  // Warm restart from disk only: a new cache performs zero compiles.
+  runner::DesignCache warm;
+  warm.attach_disk(disk);
+  runner::Batch again;
+  build(again);
+  runner::BatchOptions warm_options;
+  warm_options.workers = 2;
+  warm_options.cache = &warm;
+  const runner::BatchResult rewarmed = again.run(warm_options);
+  EXPECT_TRUE(rewarmed.all_ok());
+  EXPECT_EQ(warm.stats().disk_hits, 1);
+  EXPECT_EQ(warm.stats().disk_misses, 0) << "warm start must not compile";
+
+  fs::remove_all(dir);
 }
 
 }  // namespace
