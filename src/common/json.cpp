@@ -164,6 +164,13 @@ std::int64_t JsonValue::as_int64() const {
   return int_;
 }
 
+std::uint64_t JsonValue::as_uint64() const {
+  if (kind_ != Kind::number || !uint_exact_) {
+    fail("json: value is not an unsigned integer");
+  }
+  return uint_;
+}
+
 const std::string& JsonValue::as_string() const {
   if (kind_ != Kind::string) fail("json: value is not a string");
   return str_;
@@ -211,6 +218,23 @@ JsonValue JsonValue::make_int(std::int64_t v) {
   out.num_ = double(v);
   out.int_ = v;
   out.int_exact_ = true;
+  if (v >= 0) {
+    out.uint_ = std::uint64_t(v);
+    out.uint_exact_ = true;
+  }
+  return out;
+}
+
+JsonValue JsonValue::make_uint(std::uint64_t v) {
+  JsonValue out;
+  out.kind_ = Kind::number;
+  out.num_ = double(v);
+  out.uint_ = v;
+  out.uint_exact_ = true;
+  if (v <= std::uint64_t(INT64_MAX)) {
+    out.int_ = std::int64_t(v);
+    out.int_exact_ = true;
+  }
   return out;
 }
 
@@ -472,7 +496,18 @@ class JsonParser {
         const long long v = std::stoll(token, &used);
         if (used == token.size()) return JsonValue::make_int(v);
       } catch (const std::exception&) {
-        // Falls through to the double path (e.g. out of int64 range).
+        // Falls through to the uint64/double paths (out of int64 range).
+      }
+      if (token[0] != '-') {
+        // Non-negative integers above int64::max (64-bit seeds, hashes)
+        // stay exact instead of degrading to the double path.
+        try {
+          std::size_t used = 0;
+          const unsigned long long v = std::stoull(token, &used);
+          if (used == token.size()) return JsonValue::make_uint(v);
+        } catch (const std::exception&) {
+          // Out of uint64 range too: a plain double below.
+        }
       }
     }
     try {

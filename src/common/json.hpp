@@ -87,6 +87,10 @@ class JsonValue {
   double as_double() const;
   /// Throws unless the number was written as an integer that fits int64.
   std::int64_t as_int64() const;
+  /// Throws unless the number was written as a non-negative integer that
+  /// fits uint64. Exact for the full range — values above int64::max
+  /// (e.g. 64-bit seeds) round-trip without the double detour.
+  std::uint64_t as_uint64() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& items() const;
   const std::vector<std::pair<std::string, JsonValue>>& members() const;
@@ -100,6 +104,7 @@ class JsonValue {
   static JsonValue make_bool(bool v);
   static JsonValue make_number(double v);
   static JsonValue make_int(std::int64_t v);
+  static JsonValue make_uint(std::uint64_t v);
   static JsonValue make_string(std::string v);
   static JsonValue make_array(std::vector<JsonValue> items);
   static JsonValue make_object(
@@ -111,6 +116,8 @@ class JsonValue {
   double num_ = 0.0;
   std::int64_t int_ = 0;
   bool int_exact_ = false;
+  std::uint64_t uint_ = 0;
+  bool uint_exact_ = false;
   std::string str_;
   std::vector<JsonValue> items_;
   std::vector<std::pair<std::string, JsonValue>> members_;

@@ -1,5 +1,6 @@
 #include "paraver/reader.hpp"
 
+#include <climits>
 #include <fstream>
 #include <sstream>
 
@@ -27,12 +28,56 @@ trace::EventKind kind_from_type(int type) {
   return trace::EventKind(k);
 }
 
-std::vector<unsigned long long> parse_fields(const std::string& line) {
+/// Checked numeric field parse. .prv fields are non-negative decimal
+/// integers; anything else — text, sign, overflow, an empty field from a
+/// doubled separator — is a diagnostic naming the line and field, in the
+/// decoder's offset-error style, never an uncaught std::invalid_argument
+/// terminating the process.
+unsigned long long parse_u64_field(const std::string& raw, int lineno,
+                                   std::size_t field, const char* what) {
+  const std::string v = trim(raw);
+  try {
+    std::size_t used = 0;
+    const unsigned long long out = std::stoull(v, &used);
+    if (used != v.size() || v.empty() || v[0] == '-' || v[0] == '+') {
+      fail(strf("prv:%d: field %zu (%s): expected an unsigned integer, "
+                "got \"%s\"",
+                lineno, field + 1, what, raw.c_str()));
+    }
+    return out;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::out_of_range&) {
+    fail(strf("prv:%d: field %zu (%s): value \"%s\" out of 64-bit range",
+              lineno, field + 1, what, raw.c_str()));
+  } catch (const std::exception&) {
+    fail(strf("prv:%d: field %zu (%s): expected an unsigned integer, "
+              "got \"%s\"",
+              lineno, field + 1, what, raw.c_str()));
+  }
+}
+
+std::vector<unsigned long long> parse_fields(const std::string& line,
+                                             int lineno) {
   std::vector<unsigned long long> out;
-  for (const std::string& f : split(line, ':')) {
-    out.push_back(std::stoull(f));  // .prv fields are non-negative
+  const std::vector<std::string> parts = split(line, ':');
+  out.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out.push_back(parse_u64_field(parts[i], lineno, i, "record field"));
   }
   return out;
+}
+
+/// Checked narrowing for fields consumed as int (thread ids, state ids,
+/// event types): a value that would wrap the int cast must be an error,
+/// not an aliased in-range id.
+int narrow_int(unsigned long long v, int lineno, std::size_t field,
+               const char* what) {
+  if (v > (unsigned long long)INT_MAX) {
+    fail(strf("prv:%d: field %zu (%s): value %llu exceeds int range",
+              lineno, field + 1, what, v));
+  }
+  return int(v);
 }
 
 }  // namespace
@@ -44,66 +89,89 @@ ParseResult parse_prv(const std::string& prv_text) {
   std::istringstream in(prv_text);
   std::string line;
   bool have_header = false;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     line = trim(line);
     if (line.empty()) continue;
     if (starts_with(line, "#Paraver")) {
-      HLSPROF_CHECK(!have_header, "duplicate #Paraver header");
+      HLSPROF_CHECK(!have_header,
+                    strf("prv:%d: duplicate #Paraver header", lineno));
       have_header = true;
       // #Paraver (...):endTime:nNodes(cpus):nAppl:appInfo
       const auto paren = line.find(')');
-      HLSPROF_CHECK(paren != std::string::npos, "malformed header");
+      HLSPROF_CHECK(paren != std::string::npos,
+                    strf("prv:%d: malformed header", lineno));
       const auto fields = split(line.substr(paren + 2), ':');
-      HLSPROF_CHECK(fields.size() >= 4, "malformed header field count");
-      t.duration = cycle_t(std::stoull(fields[0]));
+      HLSPROF_CHECK(fields.size() >= 4,
+                    strf("prv:%d: malformed header field count", lineno));
+      t.duration =
+          cycle_t(parse_u64_field(fields[0], lineno, 0, "header endTime"));
       // nNodes(cpus)
       const auto open2 = fields[1].find('(');
-      HLSPROF_CHECK(open2 != std::string::npos, "malformed node field");
-      const int cpus = std::stoi(
-          fields[1].substr(open2 + 1, fields[1].find(')') - open2 - 1));
+      HLSPROF_CHECK(open2 != std::string::npos,
+                    strf("prv:%d: malformed node field", lineno));
+      const auto close2 = fields[1].find(')');
+      HLSPROF_CHECK(close2 != std::string::npos && close2 > open2,
+                    strf("prv:%d: malformed node field", lineno));
+      const int cpus = narrow_int(
+          parse_u64_field(fields[1].substr(open2 + 1, close2 - open2 - 1),
+                          lineno, 1, "header cpu count"),
+          lineno, 1, "header cpu count");
       t.num_threads = cpus;
       t.thread_states.resize(std::size_t(cpus));
       continue;
     }
-    HLSPROF_CHECK(have_header, "record before #Paraver header");
-    const auto f = parse_fields(line);
-    HLSPROF_CHECK(!f.empty(), "empty record");
+    HLSPROF_CHECK(have_header,
+                  strf("prv:%d: record before #Paraver header", lineno));
+    const auto f = parse_fields(line, lineno);
+    HLSPROF_CHECK(!f.empty(), strf("prv:%d: empty record", lineno));
     switch (f[0]) {
       case 1: {  // state: 1:cpu:appl:task:thread:begin:end:state
-        HLSPROF_CHECK(f.size() == 8, "state record needs 8 fields");
-        const int th = int(f[4]) - 1;
+        HLSPROF_CHECK(f.size() == 8,
+                      strf("prv:%d: state record needs 8 fields", lineno));
+        const int th = narrow_int(f[4], lineno, 4, "thread id") - 1;
         HLSPROF_CHECK(th >= 0 && th < t.num_threads,
-                      "state record thread out of range");
+                      strf("prv:%d: state record thread out of range",
+                           lineno));
         t.thread_states[std::size_t(th)].push_back(trace::StateInterval{
-            state_from_id(int(f[7])), cycle_t(f[5]), cycle_t(f[6])});
+            state_from_id(narrow_int(f[7], lineno, 7, "state id")),
+            cycle_t(f[5]), cycle_t(f[6])});
         break;
       }
       case 2: {  // event: 2:cpu:appl:task:thread:time:type:value[...]
         HLSPROF_CHECK(f.size() >= 8 && f.size() % 2 == 0,
-                      "event record needs 6 fields + type/value pairs");
-        const int th = int(f[4]) - 1;
+                      strf("prv:%d: event record needs 6 fields + type/value "
+                           "pairs",
+                           lineno));
+        const int th = narrow_int(f[4], lineno, 4, "thread id") - 1;
         HLSPROF_CHECK(th >= 0 && th < t.num_threads,
-                      "event record thread out of range");
+                      strf("prv:%d: event record thread out of range",
+                           lineno));
         for (std::size_t i = 6; i + 1 < f.size(); i += 2) {
           t.events.push_back(trace::EventSample{
-              kind_from_type(int(f[i])), thread_id_t(th), cycle_t(f[5]),
-              std::uint64_t(f[i + 1])});
+              kind_from_type(narrow_int(f[i], lineno, i, "event type")),
+              thread_id_t(th), cycle_t(f[5]), std::uint64_t(f[i + 1])});
         }
         break;
       }
       case 3: {  // communication: host<->device transfer (extension)
-        HLSPROF_CHECK(f.size() == 15, "communication record needs 15 fields");
-        const int th = int(f[4]) - 1;
+        HLSPROF_CHECK(f.size() == 15,
+                      strf("prv:%d: communication record needs 15 fields",
+                           lineno));
+        const int th = narrow_int(f[4], lineno, 4, "thread id") - 1;
         HLSPROF_CHECK(th >= 0 && th < t.num_threads,
-                      "communication record thread out of range");
+                      strf("prv:%d: communication record thread out of range",
+                           lineno));
         t.comms.push_back(trace::CommRecord{
             thread_id_t(th), cycle_t(f[5]), cycle_t(f[11]),
-            std::uint64_t(f[13]), int(f[14])});
+            std::uint64_t(f[13]),
+            narrow_int(f[14], lineno, 14, "transfer direction")});
         ++result.comm_records;
         break;
       }
       default:
-        fail(strf("unknown Paraver record type %llu", f[0]));
+        fail(strf("prv:%d: unknown Paraver record type %llu", lineno, f[0]));
     }
   }
   HLSPROF_CHECK(have_header, "missing #Paraver header");

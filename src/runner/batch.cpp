@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "common/error.hpp"
@@ -138,8 +139,33 @@ std::uint64_t Batch::job_seed(std::uint64_t base, int index) {
 BatchResult Batch::run(const BatchOptions& options) const {
   auto& reg = telemetry::Registry::global();
   telemetry::Span batch_span(reg, "batch.run", "runner");
+
+  // Resolve the job selection: the indices to run, ascending. A selected
+  // job keeps its original index (and therefore its derived seed), so the
+  // results are the exact slice of a full run.
+  std::vector<int> indices;
+  if (options.select.empty()) {
+    indices.resize(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) indices[i] = int(i);
+  } else {
+    indices = options.select;
+    int prev = -1;
+    for (const int idx : indices) {
+      if (idx < 0 || idx >= int(jobs_.size())) {
+        fail("batch select: job index " + std::to_string(idx) +
+             " out of range (batch has " + std::to_string(jobs_.size()) +
+             " jobs)");
+      }
+      if (idx <= prev) {
+        fail("batch select: indices must be strictly ascending (got " +
+             std::to_string(idx) + " after " + std::to_string(prev) + ")");
+      }
+      prev = idx;
+    }
+  }
+
   BatchResult result;
-  result.jobs.resize(jobs_.size());
+  result.jobs.resize(indices.size());
   result.workers = options.pool != nullptr
                        ? options.pool->workers()
                        : Pool::resolve_workers(options.workers);
@@ -155,6 +181,7 @@ BatchResult Batch::run(const BatchOptions& options) const {
   const CacheStats before = cache.stats();
 
   const auto t0 = std::chrono::steady_clock::now();
+  const auto& on_done = options.on_job_done;
   if (options.pool != nullptr) {
     // Shared-pool mode: the pool serves other batches too, so Pool::wait()
     // (which waits for global idleness) is wrong — track completion of
@@ -163,14 +190,17 @@ BatchResult Batch::run(const BatchOptions& options) const {
       std::mutex mu;
       std::condition_variable cv;
       std::size_t n;
-    } remaining{{}, {}, jobs_.size()};
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      const JobSpec& spec = jobs_[i];
-      JobResult& slot = result.jobs[i];
+    } remaining{{}, {}, indices.size()};
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const int i = indices[k];
+      const JobSpec& spec = jobs_[std::size_t(i)];
+      JobResult& slot = result.jobs[k];
       const std::uint64_t seed =
-          spec.seed != 0 ? spec.seed : job_seed(options.seed, int(i));
-      options.pool->submit([&spec, &slot, &cache, &remaining, i, seed] {
-        slot = run_job(spec, int(i), seed, cache);
+          spec.seed != 0 ? spec.seed : job_seed(options.seed, i);
+      options.pool->submit([&spec, &slot, &cache, &remaining, &on_done, i,
+                            seed] {
+        slot = run_job(spec, i, seed, cache);
+        if (on_done) on_done(slot);
         std::lock_guard<std::mutex> lock(remaining.mu);
         if (--remaining.n == 0) remaining.cv.notify_all();
       });
@@ -179,13 +209,15 @@ BatchResult Batch::run(const BatchOptions& options) const {
     remaining.cv.wait(lock, [&remaining] { return remaining.n == 0; });
   } else {
     Pool pool(result.workers);
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      const JobSpec& spec = jobs_[i];
-      JobResult& slot = result.jobs[i];
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const int i = indices[k];
+      const JobSpec& spec = jobs_[std::size_t(i)];
+      JobResult& slot = result.jobs[k];
       const std::uint64_t seed =
-          spec.seed != 0 ? spec.seed : job_seed(options.seed, int(i));
-      pool.submit([&spec, &slot, &cache, i, seed] {
-        slot = run_job(spec, int(i), seed, cache);
+          spec.seed != 0 ? spec.seed : job_seed(options.seed, i);
+      pool.submit([&spec, &slot, &cache, &on_done, i, seed] {
+        slot = run_job(spec, i, seed, cache);
+        if (on_done) on_done(slot);
       });
     }
     pool.wait();
@@ -198,6 +230,24 @@ BatchResult Batch::run(const BatchOptions& options) const {
   result.cache_hits = after.hits - before.hits;
   result.cache_misses = after.misses - before.misses;
   return result;
+}
+
+void rebase_cache_stats(BatchResult& result) {
+  std::set<std::uint64_t> seen;
+  long long hits = 0;
+  long long misses = 0;
+  for (JobResult& job : result.jobs) {
+    if (job.design_key == 0) continue;
+    if (seen.insert(job.design_key).second) {
+      ++misses;
+      job.cache_hit = false;
+    } else {
+      ++hits;
+      job.cache_hit = true;
+    }
+  }
+  result.cache_hits = hits;
+  result.cache_misses = misses;
 }
 
 }  // namespace hlsprof::runner

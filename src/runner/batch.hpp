@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "runner/design_cache.hpp"
@@ -39,6 +40,17 @@ struct BatchOptions {
   /// batch's jobs finish (other work sharing the pool is not waited on).
   /// Null = the classic per-run pool of `workers` threads.
   Pool* pool = nullptr;
+  /// Non-empty: run only these job indices (strictly ascending, each in
+  /// [0, size())). Every selected job keeps its original index and the
+  /// seed derived from it, so its JobResult is byte-for-byte the slice a
+  /// full run would have produced — the shard coordinator's contract.
+  /// BatchResult::jobs then holds exactly the selected jobs, in index
+  /// order. Empty = run everything.
+  std::vector<int> select;
+  /// Called once per finished job, from the worker thread that ran it
+  /// (concurrently across jobs — the callback must lock its own state).
+  /// Drives live progress reporting; null = off.
+  std::function<void(const JobResult&)> on_job_done;
 };
 
 struct BatchResult {
@@ -73,5 +85,15 @@ class Batch {
  private:
   std::vector<JobSpec> jobs_;
 };
+
+/// Rewrite the result's cache accounting to its deterministic,
+/// batch-relative form: within the job list, the first job to use each
+/// design is the miss, later jobs are hits. For a run against a fresh
+/// cache this reproduces the real counters; for a warm or shared cache
+/// (the serving daemon) and for reports merged from per-shard runs (each
+/// with its own process-local cache) it is what makes canonical bytes
+/// independent of who actually compiled. Jobs that never produced a
+/// design key (failed before compile) are not counted.
+void rebase_cache_stats(BatchResult& result);
 
 }  // namespace hlsprof::runner

@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
 #include <string_view>
 #include <utility>
@@ -40,6 +42,11 @@ constexpr std::uint32_t kStoreVersion = 1;
 
 constexpr const char* kEntrySuffix = ".design";
 constexpr const char* kTmpPrefix = ".tmp-";
+/// A temp file this old is a crashed writer's leftover, not a live
+/// write: store() publishes within the time of one compile (seconds).
+/// Younger temp files may belong to a sibling in a shard fleet whose
+/// children open the shared store while others are already writing.
+constexpr std::int64_t kTmpMaxAgeSeconds = 600;
 
 /// Entries are only valid for the build that wrote them: the payload
 /// layout is struct-derived, so compiler/version drift must invalidate
@@ -119,18 +126,30 @@ DiskDesignStore::DiskDesignStore(Options options)
     fail("disk cache: cannot create directory " + options_.dir + ": " +
          ec.message());
   }
-  open_and_evict();
+  approx_bytes_ = scan_and_evict_locked(/*clean_tmp=*/true);
 }
 
-void DiskDesignStore::open_and_evict() {
+std::uint64_t DiskDesignStore::scan_and_evict_locked(bool clean_tmp) {
   std::error_code ec;
   std::vector<EntryInfo> entries;
   std::uint64_t total = 0;
   for (const auto& de : fs::directory_iterator(options_.dir, ec)) {
     const std::string name = de.path().filename().string();
     if (name.rfind(kTmpPrefix, 0) == 0) {
-      // Leftover from a crashed writer: never published, safe to drop.
-      fs::remove(de.path(), ec);
+      // A crashed writer's leftover was never published and is safe to
+      // drop at open — but only once demonstrably stale. A shard
+      // fleet's children open this store while siblings may be
+      // mid-write; deleting a live temp file would make the sibling's
+      // rename silently fail and lose the entry. Mid-run passes leave
+      // temp files alone entirely.
+      if (clean_tmp) {
+        struct ::stat st{};
+        if (::stat(de.path().c_str(), &st) == 0 &&
+            std::int64_t(st.st_mtime) + kTmpMaxAgeSeconds <
+                std::int64_t(::time(nullptr))) {
+          fs::remove(de.path(), ec);
+        }
+      }
       continue;
     }
     if (name.size() <= std::string_view(kEntrySuffix).size() ||
@@ -144,7 +163,7 @@ void DiskDesignStore::open_and_evict() {
       entries.push_back(std::move(info));
     }
   }
-  if (options_.max_bytes == 0 || total <= options_.max_bytes) return;
+  if (options_.max_bytes == 0 || total <= options_.max_bytes) return total;
 
   // Evict least-recently-used first until under the cap. Ties break on
   // the path for determinism.
@@ -161,6 +180,7 @@ void DiskDesignStore::open_and_evict() {
     ++stats_.evictions;
     if (reg.enabled()) StoreMetrics::get().evictions.add(1);
   }
+  return total;
 }
 
 std::shared_ptr<const hls::Design> DiskDesignStore::load(std::uint64_t key) {
@@ -256,6 +276,15 @@ void DiskDesignStore::store(std::uint64_t key, const hls::Design& design) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.bytes_written += static_cast<long long>(blob.size());
+      // Steady-state cap enforcement: once the write estimate crosses the
+      // cap, rescan and evict. This sits on the compile path (store() only
+      // runs after the far more expensive compile, never on load()), and
+      // the rescan amortizes: each pass frees real headroom that many
+      // writes then consume before the next one triggers.
+      approx_bytes_ += blob.size();
+      if (options_.max_bytes != 0 && approx_bytes_ > options_.max_bytes) {
+        approx_bytes_ = scan_and_evict_locked(/*clean_tmp=*/false);
+      }
     }
     if (reg.enabled()) {
       StoreMetrics::get().bytes_written.add(

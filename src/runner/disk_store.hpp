@@ -23,15 +23,19 @@ class DiskDesignStore {
   struct Options {
     /// Store directory; created (recursively) if missing.
     std::string dir;
-    /// LRU size cap in bytes; entries least recently used are evicted
-    /// when the store is opened. 0 = unbounded.
+    /// LRU size cap in bytes, enforced at open time and continuously
+    /// after: store() tracks an estimate of the on-disk total and
+    /// re-runs the eviction pass whenever a write pushes it past the
+    /// cap, so a long-lived process (the serving daemon, a shard fleet)
+    /// stays bounded instead of growing until the next open. 0 =
+    /// unbounded.
     std::uint64_t max_bytes = 0;
   };
 
   struct Stats {
     long long hits = 0;        // load() returned a design
     long long misses = 0;      // load() fell through (absent/corrupt/stale)
-    long long evictions = 0;   // entries removed by the open-time LRU pass
+    long long evictions = 0;   // entries removed by any LRU eviction pass
     long long bytes_written = 0;
   };
 
@@ -61,12 +65,20 @@ class DiskDesignStore {
   static std::string entry_path(const std::string& dir, std::uint64_t key);
 
  private:
-  void open_and_evict();
+  /// Scan the directory (dropping stale temp files when `clean_tmp`),
+  /// evict least-recently-used entries while over the cap, and return
+  /// the resulting on-disk total. Caller holds mu_ (or is the ctor).
+  std::uint64_t scan_and_evict_locked(bool clean_tmp);
 
   Options options_;
   mutable std::mutex mu_;
   Stats stats_;
   std::uint64_t tmp_seq_ = 0;
+  /// Estimated on-disk total: exact after each scan, then grown by every
+  /// published write. Overwrites of an existing key double-count (the
+  /// estimate only ever errs high), which at worst triggers the rescan —
+  /// the amortization, not the correctness, depends on it.
+  std::uint64_t approx_bytes_ = 0;
 };
 
 }  // namespace hlsprof::runner

@@ -1,5 +1,6 @@
 #include "runner/manifest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -38,6 +39,13 @@ const std::vector<std::string> kScalarKeys = {
     "workers",  "seed",      "verify",                "out",
     "label",    "cache_dir", "cache_max_bytes"};
 
+// List-valued control keys: known and comma-separated like sweep keys,
+// but they steer execution instead of adding a sweep axis. `select`
+// restricts the run to the listed job indices of the full cross product
+// (original indices and seeds preserved) — the shard coordinator's
+// sub-manifest mechanism, also handy for re-running a failed subset.
+const std::vector<std::string> kControlKeys = {"select"};
+
 // Every integer-valued key, sweep or scalar: validated eagerly at parse
 // time so a bad value is reported with its manifest line, not from deep
 // inside job construction.
@@ -57,7 +65,8 @@ bool contains(const std::vector<std::string>& list, const std::string& k) {
 }
 
 bool known_key(const std::string& k) {
-  return contains(kSweepKeys, k) || contains(kScalarKeys, k);
+  return contains(kSweepKeys, k) || contains(kScalarKeys, k) ||
+         contains(kControlKeys, k);
 }
 
 /// "manifest:<line>: " prefix when the line is known; plain "manifest: "
@@ -115,7 +124,8 @@ KeyMap parse_keys(const std::string& text) {
     if (!known_key(key)) {
       fail(at(lineno) + "unknown key '" + key + "' (sweep keys: " +
            join(kSweepKeys, ", ") + "; scalar keys: " +
-           join(kScalarKeys, ", ") + ")");
+           join(kScalarKeys, ", ") + "; control keys: " +
+           join(kControlKeys, ", ") + ")");
     }
     if (keys.count(key) != 0) {
       fail(at(lineno) + "duplicate key '" + key + "' (first declared on line " +
@@ -136,7 +146,7 @@ KeyMap parse_keys(const std::string& text) {
   // Eager type validation: report bad values against their source line
   // while we still know it.
   for (const auto& [key, kv] : keys) {
-    if (contains(kIntKeys, key)) {
+    if (contains(kIntKeys, key) || key == "select") {
       for (const auto& v : kv.values) parse_int(key, v, kv.line);
     } else if (contains(kOnOffKeys, key)) {
       for (const auto& v : kv.values) parse_on_off(key, v, kv.line);
@@ -423,6 +433,25 @@ ManifestRun parse_manifest(const std::string& text) {
     }
     if (max_cycles > 0) spec.max_cycles = cycle_t(max_cycles);
     run.batch.add(std::move(spec));
+  }
+
+  // `select`: restrict the run to these job indices of the cross product
+  // just built. Sorted and deduplicated here (Batch::run requires strict
+  // ascending order); range errors point at the manifest line.
+  if (const auto it = keys.find("select"); it != keys.end()) {
+    std::vector<int> select;
+    for (const auto& v : it->second.values) {
+      const std::int64_t idx = parse_int("select", v, it->second.line);
+      if (idx < 0 || idx >= std::int64_t(run.batch.size())) {
+        fail(at(it->second.line) + "key 'select': job index " + v +
+             " out of range (manifest expands to " +
+             std::to_string(run.batch.size()) + " jobs)");
+      }
+      select.push_back(int(idx));
+    }
+    std::sort(select.begin(), select.end());
+    select.erase(std::unique(select.begin(), select.end()), select.end());
+    run.options.select = std::move(select);
   }
   return run;
 }

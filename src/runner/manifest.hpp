@@ -22,6 +22,10 @@
 // workers, seed, verify (on|off), out, label, cache_dir,
 // cache_max_bytes (the persistent design-cache location and LRU cap —
 // see docs/CACHING.md; CLI --cache-dir/--cache-max-bytes override).
+// Control keys: select (comma list of job indices — run only that
+// subset of the expanded cross product, original indices and seeds
+// preserved; the shard coordinator's sub-manifest mechanism, see
+// docs/SHARDING.md).
 #pragma once
 
 #include <string>

@@ -1,8 +1,9 @@
 // Umbrella header for the batch-experiment runner: a worker-pool
 // scheduler (pool.hpp), a content-addressed design cache
 // (design_cache.hpp), the batch API with deterministic per-job seeding
-// (job.hpp, batch.hpp), JSON/CSV reporting (report.hpp), and the sweep
-// manifest format behind the `hlsprof-run` CLI (manifest.hpp).
+// (job.hpp, batch.hpp), JSON/CSV reporting (report.hpp), the sweep
+// manifest format behind the `hlsprof-run` CLI (manifest.hpp), and the
+// multi-process shard coordinator (shard.hpp).
 //
 //   runner::Batch batch;
 //   for (int threads : {1, 2, 4, 8, 16}) {
@@ -26,3 +27,4 @@
 #include "runner/manifest.hpp"
 #include "runner/pool.hpp"
 #include "runner/report.hpp"
+#include "runner/shard.hpp"

@@ -22,10 +22,20 @@ Client::Client(const std::string& socket_path) {
   if (fd_ < 0) fail("serve client: socket: " + std::string(strerror(errno)));
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    const std::string what = strerror(errno);
+    const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    fail("serve client: connect " + socket_path + ": " + what);
+    std::string hint;
+    if (err == ENOENT) {
+      hint = " (no socket file — is hlsprof-serve running, and is this the "
+             "path it was given?)";
+    } else if (err == ECONNREFUSED) {
+      hint = " (socket file exists but nothing is listening — stale file "
+             "from a dead daemon?)";
+    }
+    throw ConnectError("serve client: cannot connect to daemon at " +
+                           socket_path + ": " + strerror(err) + hint,
+                       socket_path, err);
   }
 }
 

@@ -8,14 +8,37 @@
 #include <cstdint>
 #include <string>
 
+#include "common/error.hpp"
 #include "serve/protocol.hpp"
 
 namespace hlsprof::serve {
 
+/// Thrown when the daemon cannot be reached at all — the socket file is
+/// missing (no daemon was ever started there) or nothing accepts on it
+/// (the daemon died and left the file behind). Distinct from Error so
+/// callers can give it a distinct exit code: "no daemon" is an
+/// environment problem, not a request failure. The message always names
+/// the socket path and the errno text.
+class ConnectError : public Error {
+ public:
+  ConnectError(const std::string& what, std::string socket_path, int err)
+      : Error(what), socket_path_(std::move(socket_path)), errno_(err) {}
+
+  const std::string& socket_path() const { return socket_path_; }
+  /// The failing errno (ENOENT: no socket file; ECONNREFUSED: socket
+  /// file exists but nothing is listening).
+  int saved_errno() const { return errno_; }
+
+ private:
+  std::string socket_path_;
+  int errno_;
+};
+
 class Client {
  public:
-  /// Connect to a daemon. Throws hlsprof::Error if the socket is missing
-  /// or refuses.
+  /// Connect to a daemon. Throws serve::ConnectError when the daemon is
+  /// unreachable (missing socket / connection refused), hlsprof::Error
+  /// on other setup failures.
   explicit Client(const std::string& socket_path);
   ~Client();
 

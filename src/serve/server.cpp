@@ -7,7 +7,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <set>
 #include <utility>
 
 #include "common/build_info.hpp"
@@ -26,32 +25,6 @@ namespace {
 constexpr std::size_t kMaxLineBytes = std::size_t(16) << 20;
 
 std::string errno_text() { return std::strerror(errno); }
-
-/// Rewrite the batch's cache accounting to be request-relative: within
-/// this batch, the first job to use a design is the miss, later jobs are
-/// hits — exactly what hlsprof-run reports for the same manifest with its
-/// fresh per-run cache. The daemon's shared cache makes the raw
-/// CacheStats window deltas depend on what other requests (or a warm
-/// memory tier) did, which would break canonical byte-identity. (A job
-/// whose compile itself throws leaves no design key and is not counted —
-/// matching reports for any manifest whose jobs reach the simulator.)
-void rebase_cache_stats(runner::BatchResult& result) {
-  std::set<std::uint64_t> seen;
-  long long hits = 0;
-  long long misses = 0;
-  for (runner::JobResult& job : result.jobs) {
-    if (job.design_key == 0) continue;
-    if (seen.insert(job.design_key).second) {
-      ++misses;
-      job.cache_hit = false;
-    } else {
-      ++hits;
-      job.cache_hit = true;
-    }
-  }
-  result.cache_hits = hits;
-  result.cache_misses = misses;
-}
 
 }  // namespace
 
@@ -315,7 +288,11 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
     write_line(conn, error_response(request.id, "internal", e.what()));
     return;
   }
-  rebase_cache_stats(result);
+  // Request-relative cache accounting: the daemon's shared cache makes
+  // raw CacheStats window deltas depend on what other requests (or a
+  // warm memory tier) did, which would break canonical byte-identity
+  // with hlsprof-run's fresh per-run cache.
+  runner::rebase_cache_stats(result);
 
   runner::ReportOptions ropts;
   ropts.canonical = true;

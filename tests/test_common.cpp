@@ -436,5 +436,33 @@ TEST(Json, AccessorsEnforceKinds) {
   EXPECT_THROW(json_parse("{}").items(), Error);
 }
 
+TEST(Json, Uint64AboveInt64MaxRoundTripsExactly) {
+  // Batch seeds are full-range uint64 and the shard coordinator parses
+  // them back out of report JSON — values above int64::max must survive
+  // a write/parse cycle bit-exact, not through a double.
+  const std::uint64_t big = 12345678901234567890ull;  // > int64::max
+  JsonWriter w;
+  w.begin_object();
+  w.field("seed", big);
+  w.end_object();
+  const JsonValue v = json_parse(w.str());
+  EXPECT_EQ(v.find("seed")->as_uint64(), big);
+  EXPECT_THROW(v.find("seed")->as_int64(), Error) << "does not fit int64";
+
+  EXPECT_EQ(json_parse("18446744073709551615").as_uint64(), UINT64_MAX);
+  EXPECT_EQ(JsonValue::make_uint(big).as_uint64(), big);
+}
+
+TEST(Json, Uint64AccessorEnforcesRangeAndExactness) {
+  // int64-range integers come out of either accessor.
+  EXPECT_EQ(json_parse("42").as_uint64(), 42u);
+  EXPECT_EQ(json_parse("42").as_int64(), 42);
+  // Negatives, fractions, and beyond-uint64 values are not uint64.
+  EXPECT_THROW(json_parse("-1").as_uint64(), Error);
+  EXPECT_THROW(json_parse("2.0").as_uint64(), Error);
+  EXPECT_THROW(json_parse("18446744073709551616").as_uint64(), Error)
+      << "uint64::max + 1 degrades to double; exact accessor must refuse";
+}
+
 }  // namespace
 }  // namespace hlsprof

@@ -255,15 +255,21 @@ TEST_F(RunnerDiskCacheRecovery, ForeignBuildStampIsACleanMiss) {
 
 // ---- store hygiene ---------------------------------------------------------
 
-TEST(RunnerDiskCache, OpenRemovesStaleTempFiles) {
+TEST(RunnerDiskCache, OpenRemovesStaleTempFilesButSparesFreshOnes) {
   const std::string dir = fresh_dir("tmpclean");
   const std::string stale = dir + "/.tmp-deadbeef-1-0";
   spit(stale, "half-written entry");
+  age_file(stale, 3600);  // a crashed writer's leftover is old by now
+  // A fresh temp file may be a sibling shard child mid-write: deleting
+  // it would make that writer's publish rename silently fail.
+  const std::string fresh = dir + "/.tmp-cafef00d-2-0";
+  spit(fresh, "sibling writing right now");
   const std::string foreign = dir + "/README.txt";
   spit(foreign, "not ours");
 
   runner::DiskDesignStore store({dir, 0});
   EXPECT_FALSE(fs::exists(stale)) << "crashed-writer temp not cleaned";
+  EXPECT_TRUE(fs::exists(fresh)) << "live sibling temp must survive open";
   EXPECT_TRUE(fs::exists(foreign)) << "foreign files must be left alone";
 }
 
@@ -297,6 +303,49 @@ TEST(RunnerDiskCache, OpenEvictsLeastRecentlyUsedOverCap) {
   // Survivors still load.
   EXPECT_NE(reopened.load(keys[2]), nullptr);
   EXPECT_EQ(reopened.load(keys[0]), nullptr);
+}
+
+TEST(RunnerDiskCache, SteadyStateStoresStayUnderCapWithoutReopen) {
+  // A long-lived daemon never reopens its store, so the cap must hold
+  // across store() calls, not just at open. Measure one entry first to
+  // size a cap with room for roughly two.
+  const std::string probe_dir = fresh_dir("steady-probe");
+  runner::DiskDesignStore probe({probe_dir, 0});
+  const hls::Design probed = hls::compile(gemm_kernel(8));
+  const std::uint64_t probe_key =
+      runner::DesignCache::key_of(probed.kernel, probed.options);
+  probe.store(probe_key, probed);
+  const std::uint64_t entry_size = std::uint64_t(
+      fs::file_size(runner::DiskDesignStore::entry_path(probe_dir, probe_key)));
+  ASSERT_GT(entry_size, 0u);
+  const std::uint64_t cap = 2 * entry_size + entry_size / 2;
+
+  const std::string dir = fresh_dir("steady");
+  runner::DiskDesignStore store({dir, cap});
+  std::vector<std::uint64_t> keys;
+  for (int t : {1, 2, 4, 8}) {
+    // Backdate everything already on disk so the LRU order is stable
+    // regardless of filesystem timestamp granularity.
+    for (std::uint64_t k : keys) {
+      const std::string path = runner::DiskDesignStore::entry_path(dir, k);
+      if (fs::exists(path)) age_file(path, 1000);
+    }
+    const hls::Design d = hls::compile(gemm_kernel(t));
+    const std::uint64_t key = runner::DesignCache::key_of(d.kernel, d.options);
+    store.store(key, d);
+    keys.push_back(key);
+
+    std::uint64_t total = 0;
+    for (const auto& de : fs::directory_iterator(dir))
+      total += std::uint64_t(fs::file_size(de.path()));
+    EXPECT_LE(total, cap) << "on-disk total over cap after storing t=" << t;
+  }
+
+  EXPECT_GE(store.stats().evictions, 1);
+  EXPECT_FALSE(fs::exists(runner::DiskDesignStore::entry_path(dir, keys[0])))
+      << "oldest entry must be the first evicted";
+  EXPECT_NE(store.load(keys.back()), nullptr)
+      << "the entry just stored must survive its own eviction pass";
 }
 
 TEST(RunnerDiskCache, UnboundedStoreNeverEvicts) {

@@ -174,6 +174,53 @@ TEST(Reader, RejectsThreadOutOfRange) {
   EXPECT_THROW(parse_prv(prv), Error);
 }
 
+TEST(Reader, TextFieldErrorNamesLineAndField) {
+  std::string prv = "#Paraver (07/07/2026 at 12:00):100:1(1):1:1(1:1)\n";
+  prv += "1:1:1:1:1:zz:10:1\n";
+  try {
+    parse_prv(prv);
+    FAIL() << "text field must not parse";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("prv:2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("field 6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"zz\""), std::string::npos) << msg;
+  }
+}
+
+TEST(Reader, OutOfRangeFieldErrorNamesLineAndField) {
+  std::string prv = "#Paraver (07/07/2026 at 12:00):100:1(1):1:1(1:1)\n";
+  prv += "1:1:1:1:1:0:99999999999999999999999:1\n";
+  try {
+    parse_prv(prv);
+    FAIL() << "25-digit value must not parse";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("prv:2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of 64-bit range"), std::string::npos) << msg;
+  }
+}
+
+TEST(Reader, SignedAndEmptyFieldsAreRejected) {
+  const std::string header =
+      "#Paraver (07/07/2026 at 12:00):100:1(1):1:1(1:1)\n";
+  EXPECT_THROW(parse_prv(header + "1:1:1:1:1:-5:10:1\n"), Error)
+      << "negative field";
+  EXPECT_THROW(parse_prv(header + "1:1:1:1:1::10:1\n"), Error)
+      << "empty field from a doubled separator";
+}
+
+TEST(Reader, BadHeaderEndTimeNamesTheHeaderField) {
+  try {
+    parse_prv("#Paraver (07/07/2026 at 12:00):abc:1(1):1:1(1:1)\n");
+    FAIL() << "text endTime must not parse";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("prv:1:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("header endTime"), std::string::npos) << msg;
+  }
+}
+
 TEST(Reader, MultiValueEventRecord) {
   std::string prv = "#Paraver (07/07/2026 at 12:00):100:1(1):1:1(1:1)\n";
   prv += "2:1:1:1:1:10:42000002:5:42000003:9\n";

@@ -6,7 +6,13 @@
 // structured queue-full rejection, and graceful drain.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -250,6 +256,51 @@ std::string direct_report(const std::string& text) {
   ro.canonical = true;
   ro.label = run.label;
   return runner::report_json(result, ro);
+}
+
+TEST(ServeServer, MissingSocketThrowsConnectErrorNamingThePath) {
+  const std::string sock =
+      (fs::path(testing::TempDir()) / "hlsprof_no_such_daemon.sock").string();
+  fs::remove(sock);
+  try {
+    serve::Client client(sock);
+    FAIL() << "connect to a nonexistent socket must throw";
+  } catch (const serve::ConnectError& e) {
+    EXPECT_EQ(e.socket_path(), sock);
+    EXPECT_EQ(e.saved_errno(), ENOENT);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(sock), std::string::npos)
+        << "message must name the socket path: " << msg;
+    EXPECT_NE(msg.find("hlsprof-serve"), std::string::npos)
+        << "message must say what to start: " << msg;
+  }
+}
+
+TEST(ServeServer, StaleSocketFileThrowsConnectRefused) {
+  // A socket file with no listener behind it (daemon died) is
+  // ECONNREFUSED, reported distinctly from a missing file.
+  const std::string sock =
+      (fs::path(testing::TempDir()) / "hlsprof_stale_daemon.sock").string();
+  fs::remove(sock);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(sock.size(), sizeof(addr.sun_path));
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", sock.c_str());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // bound but never listened: file exists, nobody home
+
+  try {
+    serve::Client client(sock);
+    FAIL() << "connect to a dead socket file must throw";
+  } catch (const serve::ConnectError& e) {
+    EXPECT_EQ(e.socket_path(), sock);
+    EXPECT_EQ(e.saved_errno(), ECONNREFUSED);
+    EXPECT_NE(std::string(e.what()).find("stale"), std::string::npos)
+        << e.what();
+  }
+  fs::remove(sock);
 }
 
 TEST(ServeServer, LifecycleSubmitMetricsShutdown) {

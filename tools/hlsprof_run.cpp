@@ -2,7 +2,9 @@
 //
 //   hlsprof-run sweep.manifest [--workers=N] [--out=PREFIX] [--seed=S]
 //                              [--cache-dir=DIR] [--cache-max-bytes=N]
-//                              [--canonical] [--json] [--quiet]
+//                              [--canonical] [--json] [--quiet] [--progress]
+//                              [--shards=N] [--shard-strategy=S]
+//                              [--straggler-factor=F] [--connect=SOCKETS]
 //                              [--telemetry-out=FILE] [--chrome-trace=FILE]
 //                              [--version] [--help]
 //
@@ -20,6 +22,20 @@
 //                        cache_hit
 //   --json               print the JSON report to stdout
 //   --quiet              suppress the summary table
+//   --progress           print one line per finished job as it completes
+//                        (machine-parsable; the shard coordinator's feed)
+//   --shards=N           split the manifest's jobs across N hlsprof-run
+//                        child processes and merge their reports; the
+//                        merged canonical output is byte-identical to a
+//                        single-process run. Implies --canonical. See
+//                        docs/SHARDING.md.
+//   --shard-strategy=S   block | round_robin (default round_robin)
+//   --straggler-factor=F re-dispatch a shard's outstanding jobs when its
+//                        runtime exceeds F x the median finished-shard
+//                        time (default 3; 0 disables speculation)
+//   --connect=SOCKETS    comma-separated hlsprof-serve sockets: submit
+//                        shards to running daemons (round-robin) instead
+//                        of spawning child processes; implies shard mode
 //   --telemetry-out=FILE enable host telemetry; write the metrics snapshot
 //                        JSON (schema "hlsprof-telemetry") to FILE
 //   --chrome-trace=FILE  enable host telemetry; write a Chrome trace-event
@@ -31,14 +47,20 @@
 // written next to the report.
 //
 // Exit status: 0 if every job finished ok, 1 if any job failed or timed
-// out, 2 on usage/manifest errors (including unknown or malformed flags).
+// out, 2 on usage/manifest errors (including unknown or malformed flags),
+// 4 when --connect cannot reach a daemon at all (missing socket file or
+// connection refused — the message names the socket path).
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <string>
 
 #include "common/argparse.hpp"
 #include "common/build_info.hpp"
+#include "common/strings.hpp"
 #include "runner/runner.hpp"
+#include "runner/shard.hpp"
+#include "serve/client.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -59,12 +81,18 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string telemetry_out;
   std::string chrome_trace;
+  std::string shard_strategy = "round_robin";
+  std::string straggler_factor_text;
+  std::string connect_text;
+  std::string shard_telemetry_prefix;
   long long workers_override = -1;
   long long seed_override = -1;
   long long cache_max_bytes = -1;
+  long long shards = 1;
   bool canonical = false;
   bool print_json = false;
   bool quiet = false;
+  bool progress = false;
   bool version = false;
   bool help = false;
 
@@ -85,6 +113,22 @@ int main(int argc, char** argv) {
             "deterministic report: omit wall-clock + per-job cache_hit")
       .flag("json", &print_json, "print the JSON report to stdout")
       .flag("quiet", &quiet, "suppress the summary table")
+      .flag("progress", &progress,
+            "print one machine-parsable line per finished job")
+      .option_int("shards", &shards,
+                  "split jobs across N child processes and merge the "
+                  "reports (implies --canonical)")
+      .option("shard-strategy", &shard_strategy,
+              "block | round_robin (default round_robin)")
+      .option("straggler-factor", &straggler_factor_text,
+              "re-dispatch a shard past F x the median shard time "
+              "(default 3, 0 = off)")
+      .option("connect", &connect_text,
+              "comma-separated hlsprof-serve sockets to submit shards to "
+              "(daemon mode)")
+      .option("shard-telemetry-prefix", &shard_telemetry_prefix,
+              "each shard child writes its telemetry snapshot to "
+              "VALUE<shard-id>.json")
       .option("telemetry-out", &telemetry_out,
               "enable telemetry; write the metrics snapshot JSON here")
       .option("chrome-trace", &chrome_trace,
@@ -114,36 +158,132 @@ int main(int argc, char** argv) {
   const bool telemetry_on = !telemetry_out.empty() || !chrome_trace.empty();
   if (telemetry_on) telemetry_reg.enable(true);
 
-  runner::ManifestRun run;
-  try {
-    run = runner::load_manifest(manifest_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
-    return 2;
-  }
-
-  if (workers_override >= 0) run.options.workers = int(workers_override);
-  if (seed_override >= 0) run.options.seed = std::uint64_t(seed_override);
-  if (!out_override.empty()) run.out_prefix = out_override;
-  if (!cache_dir.empty()) run.options.cache_dir = cache_dir;
-  if (cache_max_bytes >= 0) {
-    run.options.cache_max_bytes = std::uint64_t(cache_max_bytes);
-  }
+  const bool shard_mode = shards > 1 || !connect_text.empty();
 
   runner::BatchResult result;
-  try {
-    result = run.batch.run(run.options);
-  } catch (const std::exception& e) {
-    // Runner-internal failure (e.g. the cache directory cannot be
-    // created) — a configuration error, unlike per-job failures, which
-    // land in the report.
-    std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
-    return 2;
-  }
-
   runner::ReportOptions ropts;
-  ropts.canonical = canonical;
-  ropts.label = run.label;
+  std::string out_prefix;
+
+  if (shard_mode) {
+    runner::ShardOptions sopts;
+    sopts.shards = int(shards < 1 ? 1 : shards);
+    try {
+      sopts.strategy = runner::shard_strategy_from_name(shard_strategy);
+      if (!straggler_factor_text.empty()) {
+        std::size_t used = 0;
+        sopts.straggler_factor = std::stod(straggler_factor_text, &used);
+        if (used != straggler_factor_text.size() ||
+            sopts.straggler_factor < 0) {
+          throw Error("--straggler-factor must be a non-negative number");
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return usage(parser, stderr);
+    }
+    sopts.cache_dir = cache_dir;
+    if (cache_max_bytes > 0) {
+      sopts.cache_max_bytes = std::uint64_t(cache_max_bytes);
+    }
+    sopts.workers_per_shard = workers_override > 0 ? int(workers_override) : 0;
+    sopts.seed_override = seed_override;
+    sopts.quiet = quiet;
+    sopts.child_telemetry_prefix = shard_telemetry_prefix;
+    if (!connect_text.empty()) {
+      for (const std::string& s : split(connect_text, ',')) {
+        const std::string sock = trim(s);
+        if (!sock.empty()) sopts.connect.push_back(sock);
+      }
+      // Pre-flight: an unreachable daemon is an environment error with
+      // its own exit code (4), not something to burn the re-dispatch
+      // budget on mid-run.
+      try {
+        for (const std::string& sock : sopts.connect) {
+          serve::Client probe(sock);
+        }
+      } catch (const serve::ConnectError& e) {
+        std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+        return 4;
+      }
+      sopts.submit = [](const std::string& socket,
+                        const std::string& manifest_text,
+                        const std::string& client_name) {
+        serve::Client client(socket);
+        const serve::Response r = client.submit(manifest_text, client_name);
+        if (!r.ok) {
+          fail("daemon at " + socket + " rejected the shard (" + r.error +
+               "): " + r.message);
+        }
+        return r.report;
+      };
+    }
+    if (!canonical && !quiet) {
+      std::fprintf(stderr,
+                   "hlsprof-run: note: --shards implies --canonical (merged "
+                   "reports are deterministic by construction)\n");
+    }
+
+    runner::ShardResult sharded;
+    try {
+      sharded = runner::run_sharded(manifest_path, sopts);
+    } catch (const serve::ConnectError& e) {
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return 4;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return 2;
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "hlsprof-run: %d shards (%d re-dispatched, %d duplicate "
+                   "jobs dropped)\n",
+                   sharded.shards_launched, sharded.shards_redispatched,
+                   sharded.duplicate_jobs);
+    }
+    result = std::move(sharded.merged);
+    ropts.canonical = true;
+    ropts.label = sharded.label;
+    out_prefix = !out_override.empty() ? out_override : sharded.out_prefix;
+  } else {
+    runner::ManifestRun run;
+    try {
+      run = runner::load_manifest(manifest_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return 2;
+    }
+
+    if (workers_override >= 0) run.options.workers = int(workers_override);
+    if (seed_override >= 0) run.options.seed = std::uint64_t(seed_override);
+    if (!out_override.empty()) run.out_prefix = out_override;
+    if (!cache_dir.empty()) run.options.cache_dir = cache_dir;
+    if (cache_max_bytes >= 0) {
+      run.options.cache_max_bytes = std::uint64_t(cache_max_bytes);
+    }
+    std::mutex progress_mu;
+    if (progress) {
+      run.options.on_job_done = [&progress_mu](const runner::JobResult& j) {
+        // One flushed line per job so a piped consumer (the shard
+        // coordinator) sees completions as they happen.
+        std::lock_guard<std::mutex> lock(progress_mu);
+        std::fputs((runner::format_progress_line(j) + "\n").c_str(), stdout);
+        std::fflush(stdout);
+      };
+    }
+
+    try {
+      result = run.batch.run(run.options);
+    } catch (const std::exception& e) {
+      // Runner-internal failure (e.g. the cache directory cannot be
+      // created) — a configuration error, unlike per-job failures, which
+      // land in the report.
+      std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
+      return 2;
+    }
+    ropts.canonical = canonical;
+    ropts.label = run.label;
+    out_prefix = run.out_prefix;
+  }
 
   if (!quiet) {
     std::fputs(runner::summary_table(result).c_str(), stdout);
@@ -158,10 +298,10 @@ int main(int argc, char** argv) {
     std::fputs(runner::report_json(result, ropts).c_str(), stdout);
     std::fputc('\n', stdout);
   }
-  if (!run.out_prefix.empty()) {
+  if (!out_prefix.empty()) {
     try {
       const std::string path =
-          runner::write_report(result, run.out_prefix, ropts);
+          runner::write_report(result, out_prefix, ropts);
       if (!quiet)
         std::printf("report written to %s (+ .csv)\n", path.c_str());
     } catch (const std::exception& e) {
@@ -189,8 +329,8 @@ int main(int argc, char** argv) {
       }
       // Non-canonical sidecar next to the batch report, so archived runs
       // keep their host metrics without touching the canonical bytes.
-      if (!run.out_prefix.empty()) {
-        telemetry::write_text_file(run.out_prefix + ".telemetry.json",
+      if (!out_prefix.empty()) {
+        telemetry::write_text_file(out_prefix + ".telemetry.json",
                                    telemetry::snapshot_json(snap) + "\n");
       }
       if (!quiet) std::fputs(telemetry::summary_text(snap).c_str(), stdout);

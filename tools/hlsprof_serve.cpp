@@ -26,9 +26,12 @@
 //   --report-out) the returned canonical report — byte-identical to
 //   `hlsprof-run MANIFEST --canonical --json` for the same manifest.
 //
-// Exit status: 0 ok; 1 job failures or a dead daemon; 2 usage errors;
-// 3 the daemon rejected the request (queue_full / client_quota /
-// draining — the structured error is printed to stderr).
+// Exit status: 0 ok; 1 job failures or a connection dropped mid-request;
+// 2 usage errors; 3 the daemon rejected the request (queue_full /
+// client_quota / draining — the structured error is printed to stderr);
+// 4 cannot connect to the daemon at all (missing socket file or nothing
+// listening on it — the message names the socket path), so scripts can
+// tell "no daemon" apart from "daemon said no".
 #include <unistd.h>
 
 #include <csignal>
@@ -240,6 +243,9 @@ int main(int argc, char** argv) {
                    r.jobs, r.ok_jobs);
     }
     return r.ok_jobs == r.jobs ? 0 : 1;
+  } catch (const serve::ConnectError& e) {
+    std::fprintf(stderr, "hlsprof-serve: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hlsprof-serve: %s\n", e.what());
     return 1;
