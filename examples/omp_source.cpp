@@ -8,6 +8,7 @@
 // argument is DIM.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -24,8 +25,19 @@
 using namespace hlsprof;
 
 int main(int argc, char** argv) {
+  bool no_color = false;
+  int nargs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-color") == 0) no_color = true;
+    else argv[nargs++] = argv[i];
+  }
+  argc = nargs;
+  paraver::AsciiOptions ascii = paraver::default_ascii_options(stdout);
+  if (no_color) ascii.color = false;
   if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <kernel.c> <dim> [out_dir]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <kernel.c> <dim> [out_dir] [--no-color]\n",
+                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
@@ -72,7 +84,7 @@ int main(int argc, char** argv) {
               (unsigned long long)r.sim.kernel_cycles, err);
   std::printf("states: running %.2f%% critical %.2f%% spinning %.2f%%\n",
               100 * st.running, 100 * st.critical, 100 * st.spinning);
-  std::printf("%s", paraver::render_state_view(r.timeline).c_str());
+  std::printf("%s", paraver::render_state_view(r.timeline, ascii).c_str());
   paraver::write_paraver(r.timeline, "matmul", out_dir + "/omp_source");
   std::printf("wrote %s/omp_source.{prv,pcf,row}\n", out_dir.c_str());
   return err < 1e-2 ? 0 : 1;

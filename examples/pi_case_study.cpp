@@ -9,6 +9,7 @@
 //
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "advisor/advisor.hpp"
@@ -21,6 +22,15 @@
 using namespace hlsprof;
 
 int main(int argc, char** argv) {
+  bool no_color = false;
+  int nargs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-color") == 0) no_color = true;
+    else argv[nargs++] = argv[i];
+  }
+  argc = nargs;
+  paraver::AsciiOptions ascii = paraver::default_ascii_options(stdout);
+  if (no_color) ascii.color = false;
   const std::string out_dir = argc > 1 ? argv[1] : ".";
   const std::int64_t iteration_counts[] = {1000000, 4000000, 10000000};
 
@@ -47,7 +57,7 @@ int main(int argc, char** argv) {
     std::printf("   total %llu cycles at %.0f MHz -> %.3f GFLOP/s\n",
                 (unsigned long long)r.sim.total_cycles,
                 session.design().fmax_mhz, gf);
-    std::printf("%s", paraver::render_state_view(r.timeline).c_str());
+    std::printf("%s", paraver::render_state_view(r.timeline, ascii).c_str());
     std::printf("%s",
                 advisor::analyze(session.design(), r.sim, r.timeline)
                           .to_text()

@@ -2,9 +2,10 @@
 // with the Nymble-style HLS flow, run it on the simulated accelerator with
 // the profiling unit attached, and emit a Paraver trace.
 //
-//   $ ./quickstart [out_dir]
+//   $ ./quickstart [out_dir] [--no-color]
 //
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/hlsprof.hpp"
@@ -17,6 +18,15 @@
 using namespace hlsprof;
 
 int main(int argc, char** argv) {
+  bool no_color = false;
+  int nargs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-color") == 0) no_color = true;
+    else argv[nargs++] = argv[i];
+  }
+  argc = nargs;
+  paraver::AsciiOptions ascii = paraver::default_ascii_options(stdout);
+  if (no_color) ascii.color = false;
   const std::string out_dir = argc > 1 ? argv[1] : ".";
   const std::int64_t n = 4096;
   const int threads = 8;
@@ -63,7 +73,7 @@ int main(int argc, char** argv) {
               "%lld event records, %zu bytes, %lld flush bursts)\n",
               100 * summary.running, 100 * summary.idle, r.state_records,
               r.event_records, r.trace_bytes, r.flush_bursts);
-  std::printf("%s", paraver::render_state_view(r.timeline).c_str());
+  std::printf("%s", paraver::render_state_view(r.timeline, ascii).c_str());
 
   // 6. Emit the Paraver files.
   paraver::write_paraver(r.timeline, "vecadd", out_dir + "/quickstart");

@@ -8,6 +8,7 @@
 //
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "advisor/advisor.hpp"
@@ -21,6 +22,15 @@
 using namespace hlsprof;
 
 int main(int argc, char** argv) {
+  bool no_color = false;
+  int nargs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-color") == 0) no_color = true;
+    else argv[nargs++] = argv[i];
+  }
+  argc = nargs;
+  paraver::AsciiOptions ascii = paraver::default_ascii_options(stdout);
+  if (no_color) ascii.color = false;
   const int n = argc > 1 ? std::atoi(argv[1]) : 96;
   const int iters = argc > 2 ? std::atoi(argv[2]) : 4;
   const std::string out_dir = argc > 3 ? argv[3] : ".";
@@ -44,7 +54,7 @@ int main(int argc, char** argv) {
   std::printf("states: running %.1f%%  spinning(barrier) %.1f%%  "
               "idle %.1f%%\n",
               100 * st.running, 100 * st.spinning, 100 * st.idle);
-  std::printf("%s", paraver::render_state_view(r.timeline).c_str());
+  std::printf("%s", paraver::render_state_view(r.timeline, ascii).c_str());
 
   const auto hist = paraver::state_duration_histogram(
       r.timeline, sim::ThreadState::spinning);

@@ -2,7 +2,10 @@
 // the same subset): prints the state summary, the ASCII state view, and
 // the sampled-counter curves — a terminal substitute for the Paraver GUI.
 //
-//   $ ./trace_inspect <file.prv> [--color]
+//   $ ./trace_inspect <file.prv> [--color|--no-color]
+//
+// Color defaults on when stdout is a TTY (and NO_COLOR is unset);
+// --color / --no-color force it either way.
 //
 #include <cstdio>
 #include <cstring>
@@ -17,11 +20,16 @@ using namespace hlsprof;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.prv> [--color]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <file.prv> [--color|--no-color]\n",
+                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
-  const bool color = argc > 2 && std::strcmp(argv[2], "--color") == 0;
+  bool color = paraver::default_ascii_options(stdout).color;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--color") == 0) color = true;
+    if (std::strcmp(argv[i], "--no-color") == 0) color = false;
+  }
 
   paraver::ParseResult parsed;
   try {

@@ -38,6 +38,18 @@ ArgParser& ArgParser::option_int(std::string name, long long* out,
   return *this;
 }
 
+ArgParser& ArgParser::option_optional(std::string name, std::string* out,
+                                      bool* present, std::string help) {
+  Spec s;
+  s.name = std::move(name);
+  s.kind = Kind::optional_string;
+  s.str_out = out;
+  s.bool_out = present;
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
 const ArgParser::Spec* ArgParser::find(const std::string& name) const {
   for (const Spec& s : specs_) {
     if (s.name == name) return &s;
@@ -78,6 +90,17 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       *spec->bool_out = true;
       continue;
     }
+    if (spec->kind == Kind::optional_string) {
+      *spec->bool_out = true;
+      if (eq == std::string::npos) continue;  // bare form: default value
+      const std::string value = arg.substr(eq + 1);
+      if (value.empty()) {
+        error_ = "flag --" + name + " requires a non-empty value after =";
+        return false;
+      }
+      *spec->str_out = value;
+      continue;
+    }
     if (eq == std::string::npos) {
       error_ = "flag --" + name + " requires =VALUE";
       return false;
@@ -113,6 +136,7 @@ std::string ArgParser::help_text() const {
     std::string left = "  --" + s.name;
     if (s.kind == Kind::string) left += "=VALUE";
     if (s.kind == Kind::integer) left += "=N";
+    if (s.kind == Kind::optional_string) left += "[=VALUE]";
     while (left.size() < 26) left += ' ';
     out += left + s.help + "\n";
   }

@@ -21,6 +21,12 @@ class ArgParser {
   /// `--name=N` strict base-10 integer option: the whole value must
   /// parse (sign allowed), else parse() fails.
   ArgParser& option_int(std::string name, long long* out, std::string help);
+  /// `--name` or `--name=VALUE`: optional-value string option. Either
+  /// shape sets *present; `--name=VALUE` (value must be non-empty)
+  /// additionally stores the value in *out, while bare `--name` leaves
+  /// *out untouched (the caller's default).
+  ArgParser& option_optional(std::string name, std::string* out,
+                             bool* present, std::string help);
 
   /// Parse argv[1..). Returns false on the first error; error() then
   /// holds a one-line description naming the offending argument.
@@ -34,7 +40,7 @@ class ArgParser {
   std::string help_text() const;
 
  private:
-  enum class Kind { boolean, string, integer };
+  enum class Kind { boolean, string, integer, optional_string };
   struct Spec {
     std::string name;
     Kind kind;

@@ -48,6 +48,14 @@ struct RunOptions {
   profiling::ProfilingConfig profiling;
   bool enable_profiling = true;
   std::size_t mem_capacity = std::size_t{64} << 20;
+  /// Optional live observer of the decoded record stream (e.g.
+  /// live::LiveMetrics / live::LiveTimelineView). When set, every record
+  /// is teed to it *after* the canonical TimedTraceBuilder sees it, so
+  /// the timeline — and therefore report and Paraver bytes — is
+  /// unchanged whether a sink is attached or not. Null (the default)
+  /// costs a single branch per run. Must outlive run(); ignored when
+  /// profiling is disabled.
+  trace::RecordSink* live_sink = nullptr;
 };
 
 struct RunResult {
@@ -121,7 +129,14 @@ class Session {
     // remains available while the ring has not wrapped.
     trace::TimedTraceBuilder builder(design_->kernel.num_threads,
                                      opts_.profiling.sampling_period);
-    trace::StreamingDecoder decoder(design_->kernel.num_threads, builder);
+    // Optional live observer: tee the decoded records, builder first, so
+    // canonical output is byte-identical with the sink on or off.
+    std::optional<trace::TeeRecordSink> tee;
+    trace::RecordSink* sink = &builder;
+    if (opts_.live_sink != nullptr) {
+      sink = &tee.emplace(builder, *opts_.live_sink);
+    }
+    trace::StreamingDecoder decoder(design_->kernel.num_threads, *sink);
     unit_->set_flush_sink(&decoder);
     const SinkGuard guard{unit_.get()};  // detach even if the run throws
     r.sim = sim_.run(unit_.get());

@@ -1,0 +1,129 @@
+#include "live/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlsprof::live {
+
+LiveMetrics::LiveMetrics(int num_threads, cycle_t sampling_period)
+    : num_threads_(num_threads),
+      sampling_period_(sampling_period),
+      cur_(std::size_t(num_threads), 0 /*idle*/),
+      since_(std::size_t(num_threads), 0),
+      acc_(std::size_t(num_threads)) {
+  HLSPROF_CHECK(num_threads >= 1, "LiveMetrics needs >= 1 thread");
+}
+
+void LiveMetrics::on_state(const trace::StateRecord& r, cycle_t t) {
+  HLSPROF_CHECK(static_cast<int>(r.states.size()) == num_threads_,
+                "state record thread count mismatch");
+  ++state_records_;
+  last_clock_ = std::max(last_clock_, t);
+  if (!have_any_) {
+    have_any_ = true;
+    first_clock_ = t;
+    for (int k = 0; k < num_threads_; ++k) {
+      cur_[std::size_t(k)] = r.states[std::size_t(k)];
+      since_[std::size_t(k)] = t;
+    }
+    return;
+  }
+  // Same interval-splitting rule as TimedTraceBuilder::on_state: a
+  // thread's open interval closes only when its code changes, and
+  // zero-length intervals are dropped.
+  for (int k = 0; k < num_threads_; ++k) {
+    if (r.states[std::size_t(k)] != cur_[std::size_t(k)]) {
+      if (t > since_[std::size_t(k)]) {
+        acc_[std::size_t(k)][cur_[std::size_t(k)] & 3] +=
+            t - since_[std::size_t(k)];
+      }
+      cur_[std::size_t(k)] = r.states[std::size_t(k)];
+      since_[std::size_t(k)] = t;
+    }
+  }
+}
+
+void LiveMetrics::on_event(const trace::EventRecord& r, cycle_t t) {
+  ++event_records_;
+  last_clock_ = std::max(last_clock_, t);
+  const std::size_t kind = std::size_t(r.kind);
+  if (kind < totals_.size()) totals_[kind] += r.value;
+  if (sampling_period_ > 0) {
+    const cycle_t w = t / sampling_period_;
+    if (r.kind == trace::EventKind::bytes_read) win_read_[w] += r.value;
+    if (r.kind == trace::EventKind::bytes_written) win_written_[w] += r.value;
+  }
+}
+
+LiveStats LiveMetrics::peek() const {
+  return compute(std::max(last_clock_, have_any_ ? first_clock_ : 0));
+}
+
+LiveStats LiveMetrics::finalize(cycle_t run_end) const {
+  // TimedTraceBuilder::finish applies exactly this clamp.
+  return compute(std::max(run_end, have_any_ ? first_clock_ : 0));
+}
+
+LiveStats LiveMetrics::compute(cycle_t end) const {
+  LiveStats s;
+  s.num_threads = num_threads_;
+  s.duration = end;
+  s.sampling_period = event_records_ > 0 ? sampling_period_ : 0;
+  s.state_records = state_records_;
+  s.event_records = event_records_;
+  s.event_totals = totals_;
+  s.per_thread.assign(std::size_t(num_threads_), {});
+  for (int k = 0; k < num_threads_; ++k) {
+    std::array<cycle_t, 4> cyc = acc_[std::size_t(k)];
+    if (have_any_ && end > since_[std::size_t(k)]) {
+      cyc[cur_[std::size_t(k)] & 3] += end - since_[std::size_t(k)];
+    }
+    for (int st = 0; st < 4; ++st) {
+      s.state_cycles[std::size_t(st)] += cyc[std::size_t(st)];
+      if (end > 0) {
+        s.per_thread[std::size_t(k)][std::size_t(st)] =
+            double(cyc[std::size_t(st)]) / double(end);
+      }
+    }
+  }
+  if (end > 0) {
+    for (int st = 0; st < 4; ++st) {
+      s.state_share[std::size_t(st)] =
+          double(s.state_cycles[std::size_t(st)]) /
+          (double(end) * double(num_threads_));
+    }
+    s.mean_bandwidth =
+        double(totals_[std::size_t(trace::EventKind::bytes_read)] +
+               totals_[std::size_t(trace::EventKind::bytes_written)]) /
+        double(end);
+  }
+  if (sampling_period_ > 0 && event_records_ > 0) {
+    // Same window count as paraver::rate_series: ceil(duration/period),
+    // at least one window; samples past the end are dropped. The two
+    // kinds are divided separately and then added, matching
+    // paraver::peak_bandwidth term for term.
+    const cycle_t n = std::max<cycle_t>(
+        (end + sampling_period_ - 1) / sampling_period_, 1);
+    auto windowed = [this, n](const std::map<cycle_t, std::uint64_t>& m,
+                              cycle_t w) {
+      if (w >= n) return 0.0;
+      const auto it = m.find(w);
+      return it == m.end() ? 0.0
+                           : double(it->second) / double(sampling_period_);
+    };
+    double peak = 0.0;
+    for (const auto& [w, v] : win_read_) {
+      (void)v;
+      peak = std::max(peak, windowed(win_read_, w) + windowed(win_written_, w));
+    }
+    for (const auto& [w, v] : win_written_) {
+      (void)v;
+      peak = std::max(peak, windowed(win_read_, w) + windowed(win_written_, w));
+    }
+    s.peak_bandwidth = peak;
+  }
+  return s;
+}
+
+}  // namespace hlsprof::live

@@ -1,0 +1,106 @@
+// Live trace-derived metrics: a RecordSink that incrementally computes,
+// while the run is still executing, the same numbers paraver/analysis
+// derives from the finished TimedTrace — per-thread state occupancy,
+// aggregate state shares, event totals, and DRAM bandwidth (mean and
+// windowed peak). The accounting mirrors trace::TimedTraceBuilder and
+// paraver/analysis operation for operation, so finalize(run_end) on the
+// same record stream yields *exactly* the values the post-hoc analysis
+// reports (a property the Live tests assert on every workload).
+//
+// Attach via core::RunOptions::live_sink (the core session tees decoded
+// records to it after the canonical builder) or wrap in a
+// live::BatchLiveReporter for whole-batch reporting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/streaming.hpp"
+
+namespace hlsprof::live {
+
+/// A self-contained snapshot of the metrics at some end-of-window cycle.
+struct LiveStats {
+  int num_threads = 0;
+  /// The cycle the open state intervals were closed at: the last record
+  /// clock for peek(), the run end for finalize().
+  cycle_t duration = 0;
+  /// 0 until an event record has been seen (mirrors TimedTrace).
+  cycle_t sampling_period = 0;
+  long long state_records = 0;
+  long long event_records = 0;
+  /// Aggregate share of [0, duration) per state, summed over threads and
+  /// divided by duration*threads — TimedTrace::state_fraction(s).
+  std::array<double, 4> state_share{};
+  /// Aggregate cycles per state across threads (the exact integers the
+  /// shares are computed from; what batch reporters fold across jobs).
+  std::array<cycle_t, 4> state_cycles{};
+  /// Per-thread state fractions — paraver::per_thread_table.
+  std::vector<std::array<double, 4>> per_thread;
+  /// Summed event values, indexed by the raw trace::EventKind code
+  /// (1 = stall_cycles .. 5 = bytes_written; index 0 unused).
+  std::array<std::uint64_t, 6> event_totals{};
+  /// (bytes_read + bytes_written) / duration — paraver::mean_bandwidth.
+  double mean_bandwidth = 0.0;
+  /// Max per-sampling-window bytes/cycle — paraver::peak_bandwidth.
+  /// 0 when no event records were seen (the post-hoc rate series does
+  /// not exist in that case).
+  double peak_bandwidth = 0.0;
+};
+
+/// Incremental computation of LiveStats from the decoded record stream.
+/// Not thread-safe: records arrive from the one worker thread running
+/// the simulation, and peek()/finalize() are meant to be called from
+/// that same thread (BatchLiveReporter publishes snapshots under its own
+/// lock).
+class LiveMetrics final : public trace::RecordSink {
+ public:
+  /// Mirror the arguments of the canonical TimedTraceBuilder for the run
+  /// (thread count of the design, configured sampling period).
+  LiveMetrics(int num_threads, cycle_t sampling_period);
+
+  void on_state(const trace::StateRecord& r, cycle_t t) override;
+  void on_event(const trace::EventRecord& r, cycle_t t) override;
+
+  /// Mid-run snapshot: open intervals are valued as if the run ended at
+  /// the latest record clock seen so far.
+  LiveStats peek() const;
+
+  /// End-of-run values. `run_end` is the finished timeline's duration
+  /// (TimedTraceBuilder::finish applies the same max(run_end,
+  /// first_clock) clamp, so passing RunResult::timeline.duration gives
+  /// values identical to analysing that timeline). Const: the metrics
+  /// object is still usable afterwards.
+  LiveStats finalize(cycle_t run_end) const;
+
+  cycle_t last_clock() const { return last_clock_; }
+  long long state_records() const { return state_records_; }
+  long long event_records() const { return event_records_; }
+
+ private:
+  LiveStats compute(cycle_t end) const;
+
+  int num_threads_;
+  cycle_t sampling_period_;
+  // Mirror of TimedTraceBuilder's interval state machine.
+  std::vector<std::uint8_t> cur_;  // current 2-bit state code per thread
+  std::vector<cycle_t> since_;     // open-interval start per thread
+  bool have_any_ = false;
+  cycle_t first_clock_ = 0;
+  cycle_t last_clock_ = 0;
+  // Closed-interval cycles per thread per state.
+  std::vector<std::array<cycle_t, 4>> acc_;
+  std::array<std::uint64_t, 6> totals_{};
+  // Per-sampling-window byte sums, keyed by window index — read and
+  // write kept separate so the peak is computed exactly as
+  // paraver::peak_bandwidth computes it (two rate series added).
+  std::map<cycle_t, std::uint64_t> win_read_;
+  std::map<cycle_t, std::uint64_t> win_written_;
+  long long state_records_ = 0;
+  long long event_records_ = 0;
+};
+
+}  // namespace hlsprof::live

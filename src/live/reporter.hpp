@@ -1,0 +1,157 @@
+// Batch- and fleet-level live reporting built on LiveMetrics /
+// LiveTimelineView:
+//
+//  * BatchLiveReporter — a runner::JobTraceObserver that attaches a
+//    LiveMetrics to every job of a batch, folds finished jobs into
+//    running totals, and surfaces them two ways: a human display on a
+//    TTY (the live timeline for the job currently holding the display
+//    slot, or a one-line metrics ticker), and machine-readable
+//    `##hlsprof-live` lines on a stream (the channel the shard
+//    coordinator aggregates, exactly like `##hlsprof-job` progress
+//    lines).
+//  * FleetView — the coordinator-side aggregator: one lane per shard
+//    plus a merged fleet total, redrawn in place on a TTY or emitted as
+//    throttled plain lines otherwise.
+//
+// Everything here is an *observer* of the canonical pipeline: reports,
+// Paraver traces, and exit codes are byte-identical with live reporting
+// on or off.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "live/metrics.hpp"
+#include "live/timeline.hpp"
+#include "runner/batch.hpp"
+
+namespace hlsprof::live {
+
+enum class LiveMode { off, state, metrics };
+
+/// "state" / "metrics" → the mode; anything else returns false.
+bool parse_live_mode(const std::string& s, LiveMode* out);
+const char* live_mode_name(LiveMode m);
+
+/// One machine-readable live totals line (the `##hlsprof-live` channel).
+/// Fractions are aggregate state shares weighted by thread-cycles;
+/// `cycles` sums per-job timeline durations, `thread_cycles` sums
+/// duration*threads (the exact denominators, so merging lines from
+/// several shards loses nothing).
+struct LiveLine {
+  std::size_t jobs_done = 0;
+  std::size_t jobs_total = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t thread_cycles = 0;
+  double idle = 0.0;
+  double running = 0.0;
+  double critical = 0.0;
+  double spinning = 0.0;
+  double bw = 0.0;  // mean bytes/cycle over finished jobs
+};
+
+inline constexpr const char* kLivePrefix = "##hlsprof-live ";
+
+std::string format_live_line(const LiveLine& l);
+/// Returns false (leaving *out untouched) unless `line` starts with
+/// kLivePrefix and every field parses.
+bool parse_live_line(const std::string& line, LiveLine* out);
+
+/// One-line human rendition ("jobs 3/16  cycles 123456  idle 12.5% ...").
+std::string format_live_summary(const LiveLine& l);
+
+/// Merge per-shard lines into fleet totals (thread-cycle-weighted
+/// fractions, cycle-weighted bandwidth).
+LiveLine merge_live_lines(const std::vector<LiveLine>& lines);
+
+struct ReporterOptions {
+  LiveMode mode = LiveMode::off;  // what the human display shows
+  /// Human display stream (normally stderr when it is a TTY); null = no
+  /// display. The timeline/ticker is drawn in place with ANSI escapes.
+  std::FILE* display = nullptr;
+  bool color = false;
+  /// Machine `##hlsprof-live` line stream (normally stdout under
+  /// --live-lines); one line per finished job. Null = off.
+  std::FILE* line_out = nullptr;
+  std::size_t jobs_total = 0;
+  double refresh_hz = 10.0;
+  int timeline_width = 72;
+};
+
+/// Thread-safe: begin_job/end_job arrive concurrently from batch worker
+/// threads. Record callbacks themselves stay lock-free on the worker —
+/// only job boundaries and display updates take the reporter lock.
+class BatchLiveReporter final : public runner::JobTraceObserver {
+ public:
+  explicit BatchLiveReporter(ReporterOptions opts);
+  ~BatchLiveReporter() override;
+
+  trace::RecordSink* begin_job(int index, const std::string& name,
+                               int num_threads,
+                               cycle_t sampling_period) override;
+  void end_job(int index, trace::RecordSink* sink, cycle_t run_end,
+               bool ok) override;
+
+  /// Current merged totals over finished jobs.
+  LiveLine totals() const;
+
+  /// Terminate the display (newline after an in-place ticker). Call once
+  /// after the batch run returns.
+  void finish();
+
+ private:
+  struct JobSink;
+
+  ReporterOptions opts_;
+  mutable std::mutex mu_;
+  std::map<int, std::unique_ptr<JobSink>> active_;
+  int display_owner_ = -1;  // job index holding the timeline slot
+  LiveLine done_;
+  std::array<std::uint64_t, 4> state_cycles_{};
+  std::uint64_t bytes_ = 0;
+  bool ticker_drawn_ = false;
+  bool finished_ = false;
+};
+
+struct FleetOptions {
+  std::FILE* display = nullptr;  // human stream; null = silent
+  /// True when `display` is a TTY: redraw the per-shard frame in place.
+  /// False: emit throttled plain merged-summary lines instead.
+  bool in_place = false;
+  double refresh_hz = 10.0;
+};
+
+/// Coordinator-side aggregation of per-shard `##hlsprof-live` lines.
+/// update() is thread-safe (shard reader threads call it directly).
+class FleetView {
+ public:
+  FleetView(int num_shards, FleetOptions opts);
+
+  /// Record shard `shard`'s latest totals line and (throttled) redraw.
+  void update(int shard, const LiveLine& line);
+
+  LiveLine merged() const;
+  /// Per-shard lanes plus the fleet total, as plain lines (tests).
+  std::string render_frame() const;
+  /// Final redraw + release of the in-place frame.
+  void finish();
+
+ private:
+  void render_locked();
+
+  FleetOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<LiveLine> shards_;
+  std::vector<bool> seen_;
+  int prev_frame_lines_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point last_render_{};
+  bool rendered_once_ = false;
+};
+
+}  // namespace hlsprof::live

@@ -1,7 +1,10 @@
 #include "paraver/ascii.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -9,8 +12,6 @@
 namespace hlsprof::paraver {
 
 using sim::ThreadState;
-
-namespace {
 
 char state_char(ThreadState s) {
   switch (s) {
@@ -32,7 +33,21 @@ const char* state_color(ThreadState s) {
   return "";
 }
 
-}  // namespace
+std::string state_legend() {
+  return "legend: '.' Idle  '#' Running  'C' Critical  'S' Spinning";
+}
+
+bool color_enabled_for(std::FILE* f) {
+  if (f == nullptr || ::isatty(::fileno(f)) == 0) return false;
+  const char* no_color = std::getenv("NO_COLOR");
+  return no_color == nullptr || no_color[0] == '\0';
+}
+
+AsciiOptions default_ascii_options(std::FILE* f) {
+  AsciiOptions opts;
+  opts.color = color_enabled_for(f);
+  return opts;
+}
 
 std::string render_state_view(const trace::TimedTrace& t, AsciiOptions opts) {
   HLSPROF_CHECK(opts.width > 0, "state view needs positive width");
@@ -88,7 +103,7 @@ std::string render_state_view(const trace::TimedTrace& t, AsciiOptions opts) {
   if (opts.legend) {
     out += strf("     0%*s%llu cycles\n", opts.width - 1, "",
                 static_cast<unsigned long long>(t.duration));
-    out += "     legend: '.' Idle  '#' Running  'C' Critical  'S' Spinning\n";
+    out += "     " + state_legend() + "\n";
   }
   return out;
 }

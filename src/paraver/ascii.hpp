@@ -5,6 +5,7 @@
 // Paraver GUI.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "trace/timed_trace.hpp"
@@ -16,6 +17,25 @@ struct AsciiOptions {
   bool color = false;   // ANSI colors matching the paper's legend
   bool legend = true;
 };
+
+/// The shared terminal legend: '.' Idle, '#' Running, 'C' Critical,
+/// 'S' Spinning — used by the post-hoc view and the live timeline alike.
+char state_char(sim::ThreadState s);
+/// ANSI color escape for a state (grey/green/blue/red per the paper's
+/// Paraver palette); pair with kAnsiReset.
+const char* state_color(sim::ThreadState s);
+inline constexpr const char* kAnsiReset = "\x1b[0m";
+/// The one-line legend text (no trailing newline).
+std::string state_legend();
+
+/// Whether colored output is appropriate on `f`: it is a TTY and the
+/// NO_COLOR environment variable (https://no-color.org) is unset/empty.
+bool color_enabled_for(std::FILE* f);
+
+/// AsciiOptions with `color` defaulted from the stream the caller will
+/// print to — on for an interactive terminal, off for pipes/files and
+/// under NO_COLOR.
+AsciiOptions default_ascii_options(std::FILE* f);
 
 /// Characters: '.' Idle, '#' Running, 'C' Critical, 'S' Spinning.
 std::string render_state_view(const trace::TimedTrace& t,

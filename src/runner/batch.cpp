@@ -56,13 +56,16 @@ void fill_metrics(JobResult& out, const core::Session& session,
 }
 
 JobResult run_job(const JobSpec& spec, int index, std::uint64_t seed,
-                  DesignCache& cache) {
+                  DesignCache& cache, JobTraceObserver* observer) {
   auto& reg = telemetry::Registry::global();
   telemetry::Span span(reg, "job:" + spec.name, "runner");
   JobResult out;
   out.index = index;
   out.name = spec.name;
   out.seed = seed;
+  trace::RecordSink* live = nullptr;
+  bool observed = false;
+  cycle_t observed_end = 0;
   const auto t0 = Clock::now();
   try {
     HLSPROF_CHECK(spec.kernel != nullptr, "JobSpec '" + spec.name +
@@ -77,11 +80,19 @@ JobResult run_job(const JobSpec& spec, int index, std::uint64_t seed,
 
     core::RunOptions opts = spec.run;
     if (spec.max_cycles != 0) opts.sim.max_cycles = spec.max_cycles;
+    if (observer != nullptr) {
+      live = observer->begin_job(index, spec.name,
+                                 entry.design->kernel.num_threads,
+                                 opts.profiling.sampling_period);
+      observed = true;
+      opts.live_sink = live;
+    }
 
     core::Session session(entry.design, opts);
     HostBuffers buffers;
     if (spec.bind) spec.bind(session, buffers, rng);
     const core::RunResult r = session.run();
+    observed_end = r.timeline.duration;
     fill_metrics(out, session, r);
     if (spec.check) spec.check(r, buffers);
     out.status = JobStatus::ok;
@@ -97,6 +108,10 @@ JobResult run_job(const JobSpec& spec, int index, std::uint64_t seed,
       out.wall_ms > spec.soft_timeout_ms) {
     out.status = JobStatus::timed_out;
     out.error = "exceeded soft wall-clock budget";
+  }
+  if (observed) {
+    observer->end_job(index, live, observed_end,
+                      out.status == JobStatus::ok);
   }
   if (reg.enabled()) {
     reg.counter("runner.jobs").add(1);
@@ -197,9 +212,10 @@ BatchResult Batch::run(const BatchOptions& options) const {
       JobResult& slot = result.jobs[k];
       const std::uint64_t seed =
           spec.seed != 0 ? spec.seed : job_seed(options.seed, i);
-      options.pool->submit([&spec, &slot, &cache, &remaining, &on_done, i,
-                            seed] {
-        slot = run_job(spec, i, seed, cache);
+      JobTraceObserver* observer = options.observer;
+      options.pool->submit([&spec, &slot, &cache, &remaining, &on_done,
+                            observer, i, seed] {
+        slot = run_job(spec, i, seed, cache, observer);
         if (on_done) on_done(slot);
         std::lock_guard<std::mutex> lock(remaining.mu);
         if (--remaining.n == 0) remaining.cv.notify_all();
@@ -215,8 +231,9 @@ BatchResult Batch::run(const BatchOptions& options) const {
       JobResult& slot = result.jobs[k];
       const std::uint64_t seed =
           spec.seed != 0 ? spec.seed : job_seed(options.seed, i);
-      pool.submit([&spec, &slot, &cache, &on_done, i, seed] {
-        slot = run_job(spec, i, seed, cache);
+      JobTraceObserver* observer = options.observer;
+      pool.submit([&spec, &slot, &cache, &on_done, observer, i, seed] {
+        slot = run_job(spec, i, seed, cache, observer);
         if (on_done) on_done(slot);
       });
     }

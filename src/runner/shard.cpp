@@ -28,6 +28,7 @@
 #include "common/strings.hpp"
 #include "runner/manifest.hpp"
 #include "runner/pool.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hlsprof::runner {
@@ -229,12 +230,14 @@ BatchResult merge_job_results(
 }
 
 std::string format_progress_line(const JobResult& job) {
-  return strf("%sindex=%d status=%s name=%s", kProgressPrefix, job.index,
-              job_status_name(job.status), job.name.c_str());
+  return strf("%sindex=%d status=%s cycles=%llu running=%.3f spinning=%.3f "
+              "name=%s",
+              kProgressPrefix, job.index, job_status_name(job.status),
+              static_cast<unsigned long long>(job.total_cycles),
+              job.state_running, job.state_spinning, job.name.c_str());
 }
 
-bool parse_progress_line(const std::string& line, int* index,
-                         std::string* status, std::string* name) {
+bool parse_progress_line(const std::string& line, ProgressLine* out) {
   const std::string t = trim(line);
   if (!starts_with(t, kProgressPrefix)) return false;
   const auto idx_at = t.find("index=");
@@ -245,13 +248,49 @@ bool parse_progress_line(const std::string& line, int* index,
       name_at < status_at) {
     return false;
   }
+  ProgressLine p;
   try {
-    *index = std::stoi(t.substr(idx_at + 6, status_at - (idx_at + 6)));
+    p.index = std::stoi(t.substr(idx_at + 6, status_at - (idx_at + 6)));
   } catch (const std::exception&) {
     return false;
   }
-  *status = t.substr(status_at + 8, name_at - (status_at + 8));
-  *name = t.substr(name_at + 6);  // the name runs to end of line
+  // Status runs to the first space, so lines with or without the metric
+  // fields both parse.
+  const auto status_end = t.find(' ', status_at + 8);
+  if (status_end == std::string::npos || status_end > name_at) return false;
+  p.status = t.substr(status_at + 8, status_end - (status_at + 8));
+  p.name = t.substr(name_at + 6);  // the name runs to end of line
+  // Optional metric fields between status and name.
+  const std::string mid = t.substr(status_end, name_at - status_end);
+  const auto field = [&mid](const char* key) -> std::string {
+    const std::string needle = std::string(" ") + key + "=";
+    const auto at = mid.find(needle);
+    if (at == std::string::npos) return std::string();
+    const auto start = at + needle.size();
+    const auto end = mid.find(' ', start);
+    return mid.substr(start,
+                      end == std::string::npos ? std::string::npos
+                                               : end - start);
+  };
+  const std::string cycles = field("cycles");
+  if (!cycles.empty()) {
+    p.cycles = std::strtoull(cycles.c_str(), nullptr, 10);
+  }
+  const std::string running = field("running");
+  if (!running.empty()) p.running = std::strtod(running.c_str(), nullptr);
+  const std::string spinning = field("spinning");
+  if (!spinning.empty()) p.spinning = std::strtod(spinning.c_str(), nullptr);
+  *out = p;
+  return true;
+}
+
+bool parse_progress_line(const std::string& line, int* index,
+                         std::string* status, std::string* name) {
+  ProgressLine p;
+  if (!parse_progress_line(line, &p)) return false;
+  *index = p.index;
+  *status = p.status;
+  *name = p.name;
   return true;
 }
 
@@ -262,13 +301,51 @@ struct Event {
   Kind kind = Kind::job_done;
   int shard = 0;
   // job_done
-  int job_index = -1;
-  std::string status;
-  std::string name;
+  ProgressLine job;
   // shard_exit
   bool ok = false;
   std::string report;  // canonical report JSON when ok
   std::string error;
+};
+
+/// The coordinator's one stderr funnel (ISSUE: merged progress lines
+/// must never tear mid-line). Lines accumulate into a pending buffer
+/// under a mutex and are flushed as a single fwrite per event-loop
+/// drain, so output from the coordinator interleaves with the childrens'
+/// inherited stderr only at batch boundaries, never inside a line.
+class ProgressWriter {
+ public:
+  explicit ProgressWriter(
+      const std::function<void(const std::string&)>& emit)
+      : emit_(emit) {}
+
+  /// Queue one line (no trailing newline).
+  void note(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += line;
+    pending_ += '\n';
+  }
+
+  /// Write everything queued since the last flush in one atomic batch.
+  void flush() {
+    std::string batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) return;
+      batch.swap(pending_);
+    }
+    if (emit_) {
+      emit_(batch);
+      return;
+    }
+    std::fwrite(batch.data(), 1, batch.size(), stderr);
+    std::fflush(stderr);
+  }
+
+ private:
+  const std::function<void(const std::string&)>& emit_;
+  std::mutex mu_;
+  std::string pending_;
 };
 
 struct ShardTelemetry {
@@ -300,6 +377,11 @@ struct Shard {
   std::chrono::steady_clock::time_point start;
   bool exited = false;
   bool speculated = false;  // a backup was already launched for it
+  /// Launch time on the coordinator's telemetry clock (µs since the
+  /// registry epoch): the offset that rebases this child's trace onto
+  /// the fleet timeline.
+  std::uint64_t t0_us = 0;
+  std::string chrome_path;  // child's own Perfetto file (merge input)
 };
 
 class Coordinator {
@@ -356,8 +438,11 @@ class Coordinator {
     cv_.notify_one();
   }
 
+  void write_merged_chrome_trace();
+
   std::string text_;
   const ShardOptions& opt_;
+  ProgressWriter progress_{opt_.emit_progress};
 
   ManifestRun run_;           // parsed once for label/out/size
   std::vector<int> universe_;  // indices the merged result must cover
@@ -484,6 +569,13 @@ void Coordinator::launch_process_shard(Shard& s) {
     args.push_back("--telemetry-out=" + opt_.child_telemetry_prefix +
                    std::to_string(s.id) + ".json");
   }
+  if (opt_.child_live_lines) args.push_back("--live-lines");
+  if (!opt_.chrome_trace_out.empty()) {
+    s.chrome_path =
+        (fs::path(tmpdir_) / strf("shard-%d.trace.json", s.id)).string();
+    args.push_back("--chrome-trace=" + s.chrome_path);
+  }
+  s.t0_us = telemetry::Registry::global().now_us();
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (auto& a : args) argv.push_back(a.data());
@@ -516,12 +608,17 @@ void Coordinator::launch_process_shard(Shard& s) {
       std::size_t cap = 0;
       ssize_t n = 0;
       while ((n = ::getline(&line, &cap, f)) >= 0) {
+        const std::string raw(line, std::size_t(n));
         Event e;
         e.kind = Event::Kind::job_done;
         e.shard = shard_id;
-        if (parse_progress_line(std::string(line, std::size_t(n)),
-                                &e.job_index, &e.status, &e.name)) {
+        if (parse_progress_line(raw, &e.job)) {
           push(std::move(e));
+        } else if (opt_.on_child_line) {
+          // Other machine lines (##hlsprof-live ...) feed the fleet live
+          // view directly from this reader thread.
+          const std::string t = trim(raw);
+          if (starts_with(t, "##hlsprof-")) opt_.on_child_line(shard_id, t);
         }
       }
       std::free(line);
@@ -602,10 +699,10 @@ void Coordinator::redispatch(const Shard& from, std::vector<int> outstanding,
     t.jobs_redispatched.add(static_cast<long long>(outstanding.size()));
   }
   if (!opt_.quiet) {
-    std::fprintf(stderr,
-                 "hlsprof-run: shard %d %s; re-dispatching %zu jobs as "
-                 "shard %zu\n",
-                 from.id, why.c_str(), outstanding.size(), shards_.size());
+    progress_.note(strf("hlsprof-run: shard %d %s; re-dispatching %zu jobs "
+                        "as shard %zu",
+                        from.id, why.c_str(), outstanding.size(),
+                        shards_.size()));
   }
   launch(std::move(outstanding));
 }
@@ -668,11 +765,11 @@ void Coordinator::handle_event(const Event& e) {
     handle_exit(e);
     return;
   }
-  progressed_.insert(e.job_index);
+  progressed_.insert(e.job.index);
   if (!opt_.quiet) {
-    std::fprintf(stderr, "hlsprof-run: [shard %d] %s %s (%zu/%zu)\n",
-                 e.shard, e.name.c_str(), e.status.c_str(),
-                 progressed_.size(), universe_.size());
+    progress_.note(strf("hlsprof-run: [shard %d] %s %s (%zu/%zu)", e.shard,
+                        e.job.name.c_str(), e.job.status.c_str(),
+                        progressed_.size(), universe_.size()));
   }
 }
 
@@ -739,6 +836,7 @@ ShardResult Coordinator::run() {
       batch.swap(events_);
     }
     for (const Event& e : batch) handle_event(e);
+    progress_.flush();
     if (remaining_.empty() && !all_exited()) kill_running();
     if ((remaining_.empty() || !fatal_.empty()) && all_exited()) break;
     if (!batch.empty()) continue;
@@ -749,6 +847,10 @@ ShardResult Coordinator::run() {
   }
   if (!fatal_.empty()) fail(fatal_);
   HLSPROF_CHECK(remaining_.empty(), "shard: jobs left unmerged");
+
+  // Child trace files live in tmpdir_ (removed by the destructor), so
+  // the fleet trace must be assembled before run() returns.
+  write_merged_chrome_trace();
 
   ShardResult out;
   out.merged.jobs = std::move(slots_);
@@ -761,6 +863,29 @@ ShardResult Coordinator::run() {
   out.shards_redispatched = redispatches_;
   out.duplicate_jobs = duplicates_;
   return out;
+}
+
+void Coordinator::write_merged_chrome_trace() {
+  if (opt_.chrome_trace_out.empty() || !opt_.connect.empty()) return;
+  std::vector<telemetry::ChromeTraceInput> inputs;
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) {
+    telemetry::ChromeTraceInput own;
+    own.label = "coordinator";
+    own.json_text = telemetry::chrome_trace_json(reg.snapshot(true));
+    own.ts_offset_us = 0;  // children rebase onto this clock
+    inputs.push_back(std::move(own));
+  }
+  for (const auto& sp : shards_) {
+    if (sp->chrome_path.empty()) continue;
+    telemetry::ChromeTraceInput in;
+    in.label = strf("shard-%d", sp->id);
+    in.json_text = read_file_or_empty(sp->chrome_path);
+    in.ts_offset_us = sp->t0_us;
+    if (!in.json_text.empty()) inputs.push_back(std::move(in));
+  }
+  telemetry::write_text_file(opt_.chrome_trace_out,
+                             telemetry::merge_chrome_traces(inputs));
 }
 
 }  // namespace

@@ -105,6 +105,31 @@ struct ShardOptions {
   /// Suppress per-job progress lines on stderr.
   bool quiet = false;
 
+  /// Progress sink replacing the default stderr writer: each call hands
+  /// over one batch of already-newline-terminated progress lines
+  /// (possibly several at once — the coordinator batches per event-loop
+  /// drain and writes each batch atomically). Called on the coordinator
+  /// thread. Null = write batches to stderr.
+  std::function<void(const std::string& lines)> emit_progress;
+
+  /// Process mode: pass --live-lines to every shard child so it emits
+  /// `##hlsprof-live` totals lines on its progress pipe (the fleet live
+  /// view's feed).
+  bool child_live_lines = false;
+  /// Called from shard *reader threads* with every non-progress
+  /// `##hlsprof-` line a child printed (i.e. `##hlsprof-live` lines
+  /// under child_live_lines). The receiver must do its own locking.
+  std::function<void(int shard, const std::string& line)> on_child_line;
+
+  /// Non-empty, process mode: every shard child additionally writes a
+  /// Chrome/Perfetto trace of its own telemetry, and the coordinator
+  /// merges all child traces plus its own into ONE file at this path —
+  /// per-shard tracks namespaced ("shard-K"), child clocks rebased onto
+  /// the coordinator's telemetry epoch so the fleet timeline lines up.
+  /// Ignored in daemon mode (daemons outlive the submission; their
+  /// telemetry belongs to the daemon, not the run).
+  std::string chrome_trace_out;
+
   /// Test hook, process mode: called right after each fork with the
   /// shard id and child pid (e.g. to SIGKILL a shard mid-run and prove
   /// re-dispatch). Called on the coordinator thread.
@@ -171,9 +196,23 @@ BatchResult merge_job_results(
 
 /// The per-job progress line a shard child emits on stdout under
 /// --progress and the coordinator's parser for it. Format:
-///   ##hlsprof-job index=I status=S name=N...
-/// (name extends to end of line; it may contain spaces).
+///   ##hlsprof-job index=I status=S cycles=N running=F spinning=F name=N...
+/// (name extends to end of line; it may contain spaces). The metric
+/// fields carry the job's live summary — cycle count and running /
+/// spinning state shares — so the coordinator can show per-job metrics
+/// without waiting for the shard's report. The parser accepts lines
+/// without them (older children), leaving the metrics zero.
+struct ProgressLine {
+  int index = -1;
+  std::string status;
+  std::string name;
+  std::uint64_t cycles = 0;
+  double running = 0.0;
+  double spinning = 0.0;
+};
 std::string format_progress_line(const JobResult& job);
+bool parse_progress_line(const std::string& line, ProgressLine* out);
+/// Compatibility form: index/status/name only.
 bool parse_progress_line(const std::string& line, int* index,
                          std::string* status, std::string* name);
 

@@ -94,6 +94,36 @@ Response Client::submit(const std::string& manifest_text,
   return call(r);
 }
 
+Response Client::submit_watch(
+    const std::string& manifest_text,
+    const std::function<void(const Response&)>& on_event,
+    const std::string& client, int priority, std::uint64_t id) {
+  Request r;
+  r.op = Request::Op::submit;
+  r.id = id;
+  r.client = client;
+  r.priority = priority;
+  r.manifest = manifest_text;
+  r.watch = true;
+  std::string line = request_line(r);
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      fail("serve client: send: " + std::string(strerror(errno)));
+    }
+    off += std::size_t(n);
+  }
+  for (;;) {
+    Response resp = parse_response(read_line());
+    if (resp.event.empty()) return resp;
+    if (on_event) on_event(resp);
+  }
+}
+
 Response Client::metrics(std::uint64_t id) {
   Request r;
   r.op = Request::Op::metrics;

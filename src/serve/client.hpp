@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/error.hpp"
@@ -55,6 +56,14 @@ class Client {
   /// Convenience wrappers; `id` is echoed back by the daemon.
   Response submit(const std::string& manifest_text, const std::string& client,
                   int priority = 0, std::uint64_t id = 0);
+  /// Watch submit: streams per-job progress. `on_event` runs once per
+  /// progress event (Response::event == "progress"), in arrival order on
+  /// the calling thread; the returned Response is the final one (its
+  /// `event` is empty). Blocks like submit().
+  Response submit_watch(const std::string& manifest_text,
+                        const std::function<void(const Response&)>& on_event,
+                        const std::string& client, int priority = 0,
+                        std::uint64_t id = 0);
   Response metrics(std::uint64_t id = 0);
   Response ping(std::uint64_t id = 0);
   Response shutdown(std::uint64_t id = 0);

@@ -1,0 +1,483 @@
+// Tests for the live observability layer (src/live): LiveMetrics must
+// match the post-hoc paraver/analysis numbers EXACTLY (same doubles, not
+// approximately), the live timeline must compact to fit, the
+// ##hlsprof-live channel must round-trip, fleet merging must be
+// weighted correctly, and attaching any of it must leave canonical
+// report and Paraver bytes untouched.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/hlsprof.hpp"
+#include "live/metrics.hpp"
+#include "live/reporter.hpp"
+#include "live/timeline.hpp"
+#include "paraver/analysis.hpp"
+#include "paraver/writer.hpp"
+#include "runner/runner.hpp"
+#include "runner/shard.hpp"
+#include "telemetry/export.hpp"
+#include "trace/timed_trace.hpp"
+#include "workloads/gemm.hpp"
+#include "workloads/reference.hpp"
+#include "workloads/simple.hpp"
+
+namespace hlsprof {
+namespace {
+
+using sim::ThreadState;
+using trace::EventKind;
+
+constexpr ThreadState kStates[4] = {ThreadState::idle, ThreadState::running,
+                                    ThreadState::critical,
+                                    ThreadState::spinning};
+
+/// Assert that LiveMetrics' finalized stats equal the analysis of the
+/// canonical timeline bit for bit.
+void expect_matches_analysis(const live::LiveStats& st,
+                             const trace::TimedTrace& t) {
+  ASSERT_EQ(st.num_threads, t.num_threads);
+  EXPECT_EQ(st.duration, t.duration);
+  EXPECT_EQ(st.sampling_period, t.sampling_period);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(st.state_cycles[std::size_t(s)], t.state_cycles(kStates[s]));
+    EXPECT_EQ(st.state_share[std::size_t(s)], t.state_fraction(kStates[s]));
+    for (int k = 0; k < t.num_threads; ++k) {
+      EXPECT_EQ(st.per_thread[std::size_t(k)][std::size_t(s)],
+                t.state_fraction(thread_id_t(k), kStates[s]));
+    }
+  }
+  EXPECT_EQ(st.mean_bandwidth, paraver::mean_bandwidth(t));
+  if (t.sampling_period > 0) {
+    EXPECT_EQ(st.peak_bandwidth, paraver::peak_bandwidth(t));
+  }
+}
+
+// ---- LiveMetrics vs post-hoc analysis --------------------------------------
+
+TEST(LiveMetrics, MatchesAnalysisOnRandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    std::mt19937_64 rng(seed);
+    const int threads = 1 + int(rng() % 8);
+    const cycle_t period = (rng() % 3 == 0) ? 64 : 256;
+    trace::TimedTraceBuilder builder(threads, period);
+    live::LiveMetrics lm(threads, period);
+
+    cycle_t t = rng() % 16;
+    const int n_records = 20 + int(rng() % 200);
+    for (int i = 0; i < n_records; ++i) {
+      if (rng() % 4 == 0) {
+        trace::EventRecord e;
+        e.kind = EventKind(1 + rng() % 5);
+        e.thread = std::uint8_t(rng() % std::uint64_t(threads));
+        e.clock32 = std::uint32_t(t);
+        e.value = rng() % 5000;
+        builder.on_event(e, t);
+        lm.on_event(e, t);
+      } else {
+        trace::StateRecord s;
+        s.clock32 = std::uint32_t(t);
+        for (int k = 0; k < threads; ++k) {
+          s.states.push_back(std::uint8_t(rng() % 4));
+        }
+        builder.on_state(s, t);
+        lm.on_state(s, t);
+      }
+      // Sometimes repeat a clock (same-cycle records), sometimes jump.
+      t += (rng() % 3 == 0) ? 0 : 1 + rng() % 300;
+    }
+    // Run end beyond, at, or before the last record clock.
+    const cycle_t run_end = (rng() % 2 == 0) ? t + rng() % 1000 : t / 2;
+    const trace::TimedTrace timeline = builder.finish(run_end);
+    expect_matches_analysis(lm.finalize(run_end), timeline);
+  }
+}
+
+TEST(LiveMetrics, MatchesAnalysisOnRealWorkloads) {
+  struct Case {
+    const char* name;
+    ir::Kernel kernel;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"vecadd", workloads::vecadd(2048, 4)});
+  workloads::GemmConfig gcfg;
+  gcfg.dim = 24;
+  cases.push_back({"gemm", workloads::gemm_versions()[0].build(gcfg)});
+
+  for (auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    hls::Design d = core::compile(std::move(c.kernel));
+    const int threads = d.kernel.num_threads;
+    core::RunOptions opts;
+    live::LiveMetrics lm(threads, opts.profiling.sampling_period);
+    opts.live_sink = &lm;
+    core::Session s(std::move(d), opts);
+    runner::HostBuffers bufs;
+    if (std::string(c.name) == "vecadd") {
+      s.sim().bind_f32("x", bufs.f32(workloads::random_vector(2048, 1)));
+      s.sim().bind_f32("y", bufs.f32(workloads::random_vector(2048, 2)));
+      s.sim().bind_f32("z", bufs.f32(2048));
+    } else {
+      s.sim().bind_f32("A", bufs.f32(workloads::random_matrix(24, 1)));
+      s.sim().bind_f32("B", bufs.f32(workloads::random_matrix(24, 2)));
+      s.sim().bind_f32("C", bufs.f32(24 * 24));
+    }
+    const core::RunResult r = s.run();
+    ASSERT_TRUE(r.has_trace);
+    EXPECT_EQ(lm.state_records(), r.state_records);
+    EXPECT_EQ(lm.event_records(), r.event_records);
+    expect_matches_analysis(lm.finalize(r.timeline.duration), r.timeline);
+  }
+}
+
+TEST(LiveMetrics, PeekValuesOpenIntervalsAtLastClock) {
+  live::LiveMetrics lm(2, 0);
+  trace::StateRecord s;
+  s.states = {1, 0};  // running, idle
+  lm.on_state(s, 100);
+  s.states = {1, 3};
+  lm.on_state(s, 300);
+  const live::LiveStats st = lm.peek();
+  EXPECT_EQ(st.duration, 300u);
+  // Thread 0 ran [100,300); thread 1 idled [100,300) (its spin interval
+  // is still zero-length at the peek clock).
+  EXPECT_EQ(st.state_cycles[1], 200u);
+  EXPECT_EQ(st.state_cycles[0], 200u);
+  EXPECT_EQ(st.state_cycles[3], 0u);
+}
+
+TEST(LiveMetrics, AttachingLiveSinkKeepsTraceBytesIdentical) {
+  const auto run_once = [](trace::RecordSink* sink) {
+    hls::Design d = core::compile(workloads::vecadd(1024, 4));
+    core::RunOptions opts;
+    opts.live_sink = sink;
+    core::Session s(std::move(d), opts);
+    runner::HostBuffers bufs;
+    s.sim().bind_f32("x", bufs.f32(workloads::random_vector(1024, 7)));
+    s.sim().bind_f32("y", bufs.f32(workloads::random_vector(1024, 8)));
+    s.sim().bind_f32("z", bufs.f32(1024));
+    const core::RunResult r = s.run();
+    return paraver::to_paraver(r.timeline, "vecadd");
+  };
+  live::LiveMetrics lm(4, 8192);
+  const auto off = run_once(nullptr);
+  const auto on = run_once(&lm);
+  EXPECT_EQ(off.prv, on.prv);
+  EXPECT_EQ(off.pcf, on.pcf);
+  EXPECT_EQ(off.row, on.row);
+  EXPECT_GT(lm.state_records(), 0);
+}
+
+// ---- timeline view ---------------------------------------------------------
+
+TEST(LiveTimeline, RendersStatesWithSharedLegend) {
+  live::TimelineOptions topts;
+  topts.width = 8;
+  topts.initial_span = 16;
+  live::LiveTimelineView view(2, topts);
+  trace::StateRecord s;
+  s.states = {1, 3};  // running, spinning
+  view.on_state(s, 0);
+  s.states = {1, 3};
+  view.on_state(s, 64);
+  s.states = {0, 0};
+  view.on_state(s, 100);
+  const std::string frame = view.render_frame();
+  EXPECT_NE(frame.find("T0 "), std::string::npos);
+  EXPECT_NE(frame.find("T1 "), std::string::npos);
+  EXPECT_NE(frame.find('#'), std::string::npos);  // running lane
+  EXPECT_NE(frame.find('S'), std::string::npos);  // spinning lane
+  EXPECT_NE(frame.find("legend:"), std::string::npos);
+}
+
+TEST(LiveTimeline, CompactsSpanToFitWidth) {
+  live::TimelineOptions topts;
+  topts.width = 8;
+  topts.initial_span = 4;  // fits 32 cycles before compaction
+  live::LiveTimelineView view(1, topts);
+  trace::StateRecord s;
+  s.states = {1};
+  view.on_state(s, 0);
+  view.on_state(s, 1000);  // forces repeated pair-merging
+  EXPECT_GE(view.span() * cycle_t(topts.width), 1000u);
+  EXPECT_EQ(view.span() % 4, 0u);  // doubled from the initial span
+  // The run still renders one row of width <= 8 columns.
+  const std::string frame = view.render_frame();
+  EXPECT_NE(frame.find("T0 "), std::string::npos);
+}
+
+// ---- live line channel -----------------------------------------------------
+
+TEST(LiveLine, FormatsAndParsesExactly) {
+  live::LiveLine l;
+  l.jobs_done = 3;
+  l.jobs_total = 16;
+  l.cycles = 123456789;
+  l.thread_cycles = 987654321;
+  l.idle = 0.125;
+  l.running = 0.75;
+  l.critical = 0.0625;
+  l.spinning = 0.0625;
+  l.bw = 1.5;
+  const std::string line = live::format_live_line(l);
+  EXPECT_EQ(line.rfind(live::kLivePrefix, 0), 0u);
+  live::LiveLine back;
+  ASSERT_TRUE(live::parse_live_line(line, &back));
+  EXPECT_EQ(back.jobs_done, l.jobs_done);
+  EXPECT_EQ(back.jobs_total, l.jobs_total);
+  EXPECT_EQ(back.cycles, l.cycles);
+  EXPECT_EQ(back.thread_cycles, l.thread_cycles);
+  EXPECT_DOUBLE_EQ(back.running, l.running);
+  EXPECT_DOUBLE_EQ(back.bw, l.bw);
+  EXPECT_FALSE(live::parse_live_line("##hlsprof-job index=1 ...", &back));
+  EXPECT_FALSE(live::parse_live_line("##hlsprof-live jobs_done=x", &back));
+  EXPECT_FALSE(live::parse_live_line("plain chatter", &back));
+}
+
+TEST(LiveLine, MergeWeightsByThreadCycles) {
+  live::LiveLine a;
+  a.jobs_done = 1;
+  a.jobs_total = 2;
+  a.cycles = 100;
+  a.thread_cycles = 400;  // 4 threads
+  a.running = 1.0;
+  a.bw = 2.0;
+  live::LiveLine b;
+  b.jobs_done = 1;
+  b.jobs_total = 2;
+  b.cycles = 300;
+  b.thread_cycles = 1200;
+  b.idle = 1.0;
+  b.bw = 0.0;
+  const live::LiveLine m = live::merge_live_lines({a, b});
+  EXPECT_EQ(m.jobs_done, 2u);
+  EXPECT_EQ(m.jobs_total, 4u);
+  EXPECT_EQ(m.cycles, 400u);
+  EXPECT_EQ(m.thread_cycles, 1600u);
+  EXPECT_DOUBLE_EQ(m.running, 0.25);  // 400/1600
+  EXPECT_DOUBLE_EQ(m.idle, 0.75);
+  EXPECT_DOUBLE_EQ(m.bw, 0.5);  // (2*100 + 0*300) / 400
+}
+
+// ---- batch reporter --------------------------------------------------------
+
+runner::JobSpec live_vecadd_job(std::int64_t n) {
+  runner::JobSpec spec;
+  spec.name = "vecadd.n" + std::to_string(n);
+  spec.kernel = [n](SplitMix64&) { return workloads::vecadd(n, 4); };
+  spec.bind = [n](core::Session& s, runner::HostBuffers& bufs,
+                  SplitMix64& rng) {
+    s.sim().bind_f32("x", bufs.f32(workloads::random_vector(n, rng.next())));
+    s.sim().bind_f32("y", bufs.f32(workloads::random_vector(n, rng.next())));
+    s.sim().bind_f32("z", bufs.f32(std::size_t(n)));
+  };
+  return spec;
+}
+
+std::string canonical_report(const runner::BatchResult& r) {
+  runner::ReportOptions opts;
+  opts.canonical = true;
+  opts.label = "live-test";
+  return runner::report_json(r, opts);
+}
+
+TEST(LiveReporter, ObserverKeepsReportBytesIdenticalAndFoldsTotals) {
+  runner::Batch batch;
+  batch.add(live_vecadd_job(256));
+  batch.add(live_vecadd_job(512));
+  batch.add(live_vecadd_job(1024));
+
+  runner::BatchOptions base;
+  base.workers = 2;
+  base.seed = 42;
+  const runner::BatchResult plain = batch.run(base);
+
+  std::FILE* lines = std::tmpfile();
+  ASSERT_NE(lines, nullptr);
+  live::ReporterOptions ropts;
+  ropts.jobs_total = batch.size();
+  ropts.line_out = lines;
+  live::BatchLiveReporter reporter(ropts);
+  runner::BatchOptions observed = base;
+  observed.observer = &reporter;
+  const runner::BatchResult live_run = batch.run(observed);
+  reporter.finish();
+
+  EXPECT_EQ(canonical_report(plain), canonical_report(live_run));
+
+  const live::LiveLine totals = reporter.totals();
+  EXPECT_EQ(totals.jobs_done, 3u);
+  EXPECT_EQ(totals.jobs_total, 3u);
+  EXPECT_GT(totals.cycles, 0u);
+  // Every job runs 4 hardware threads, so the fold's thread-cycle
+  // denominator is exactly 4x the summed timeline durations.
+  EXPECT_EQ(totals.thread_cycles, totals.cycles * 4);
+
+  // One flushed ##hlsprof-live line per finished job, last one == totals.
+  std::rewind(lines);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), lines));
+  std::fclose(lines);
+  int count = 0;
+  std::size_t pos = 0;
+  std::string last;
+  while ((pos = text.find(live::kLivePrefix, pos)) != std::string::npos) {
+    const std::size_t nl = text.find('\n', pos);
+    last = text.substr(pos, nl - pos);
+    ++count;
+    pos = nl;
+  }
+  EXPECT_EQ(count, 3);
+  live::LiveLine parsed;
+  ASSERT_TRUE(live::parse_live_line(last, &parsed));
+  EXPECT_EQ(parsed.jobs_done, 3u);
+  EXPECT_EQ(parsed.cycles, totals.cycles);
+}
+
+// ---- fleet view ------------------------------------------------------------
+
+TEST(LiveFleet, AggregatesShardLanes) {
+  live::FleetView fleet(2, live::FleetOptions{});
+  live::LiveLine a;
+  a.jobs_done = 1;
+  a.jobs_total = 2;
+  a.cycles = 100;
+  a.thread_cycles = 800;
+  a.running = 0.5;
+  a.idle = 0.5;
+  fleet.update(0, a);
+  fleet.update(1, a);
+  const live::LiveLine m = fleet.merged();
+  EXPECT_EQ(m.jobs_done, 2u);
+  EXPECT_EQ(m.cycles, 200u);
+  EXPECT_DOUBLE_EQ(m.running, 0.5);
+  const std::string frame = fleet.render_frame();
+  EXPECT_NE(frame.find("shard 0"), std::string::npos);
+  EXPECT_NE(frame.find("shard 1"), std::string::npos);
+  EXPECT_NE(frame.find("fleet"), std::string::npos);
+  // A re-dispatched shard (id beyond the initial split) gets a lane too.
+  fleet.update(4, a);
+  EXPECT_EQ(fleet.merged().jobs_done, 3u);
+}
+
+// ---- progress line metrics -------------------------------------------------
+
+TEST(LiveProgressLine, CarriesJobMetrics) {
+  runner::JobResult j;
+  j.index = 7;
+  j.status = runner::JobStatus::ok;
+  j.name = "gemm dim=48, blocked";
+  j.total_cycles = 123456;
+  j.state_running = 0.625;
+  j.state_spinning = 0.125;
+  const std::string line = runner::format_progress_line(j);
+  runner::ProgressLine p;
+  ASSERT_TRUE(runner::parse_progress_line(line, &p));
+  EXPECT_EQ(p.index, 7);
+  EXPECT_EQ(p.status, "ok");
+  EXPECT_EQ(p.name, j.name);
+  EXPECT_EQ(p.cycles, 123456u);
+  EXPECT_NEAR(p.running, 0.625, 1e-3);
+  EXPECT_NEAR(p.spinning, 0.125, 1e-3);
+  // Older-format lines (no metric fields) still parse, metrics zero.
+  runner::ProgressLine old;
+  ASSERT_TRUE(runner::parse_progress_line(
+      "##hlsprof-job index=3 status=failed name=x y z", &old));
+  EXPECT_EQ(old.index, 3);
+  EXPECT_EQ(old.status, "failed");
+  EXPECT_EQ(old.name, "x y z");
+  EXPECT_EQ(old.cycles, 0u);
+}
+
+// ---- merged chrome traces --------------------------------------------------
+
+TEST(LiveChromeMerge, NamespacesAndRebasesInputs) {
+  const std::string doc_a =
+      R"({"traceEvents":[{"name":"a","ph":"X","ts":10,"dur":5,"pid":1,"tid":0}]})";
+  const std::string doc_b =
+      R"({"traceEvents":[{"name":"b","ph":"X","ts":1,"dur":2,"tid":3}]})";
+  const std::string merged = telemetry::merge_chrome_traces({
+      {"coordinator", doc_a, 0},
+      {"shard-0", doc_b, 100},
+      {"shard-1", "", 0},           // dead shard: skipped
+      {"shard-2", "not json", 0},   // torn file: skipped
+  });
+  const JsonValue v = json_parse(merged);
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int process_names = 0;
+  for (const JsonValue& e : events->items()) {
+    const JsonValue* name = e.find("name");
+    if (name != nullptr && name->as_string() == "process_name") {
+      ++process_names;
+      const std::string label = e.find("args")->find("name")->as_string();
+      EXPECT_TRUE(label == "coordinator" || label == "shard-0");
+    }
+    if (name != nullptr && name->as_string() == "b") {
+      EXPECT_EQ(e.find("ts")->as_double(), 101.0);  // 1 + offset 100
+      EXPECT_EQ(e.find("pid")->as_int64(), 2);      // second surviving input
+    }
+  }
+  EXPECT_EQ(process_names, 2);
+  EXPECT_EQ(v.find("otherData")->find("merged_inputs")->as_int64(), 2);
+}
+
+// ---- metrics table ---------------------------------------------------------
+
+TEST(LiveMetricsTable, FormatsSnapshotRows) {
+  const std::string snap =
+      R"({"schema":"hlsprof-telemetry","schema_version":1,)"
+      R"("counters":{"sim.runs":{"value":3},"sim.cycles":{"value":99,"unit":"cycles"}},)"
+      R"("gauges":{"sim.cycles_per_sec":{"value":1.5e6}},)"
+      R"("histograms":{"serve.request_ms":{"count":2,"sum":8.5,"unit":"ms"}},)"
+      R"("spans":{"recorded":4,"dropped":0},"samples":{"recorded":1,"dropped":2}})";
+  const std::string table = telemetry::metrics_table(snap);
+  EXPECT_NE(table.find("sim.runs"), std::string::npos);
+  EXPECT_NE(table.find("99 cycles"), std::string::npos);
+  EXPECT_NE(table.find("count 2, sum 8.5 ms"), std::string::npos);
+  EXPECT_NE(table.find("recorded 1, dropped 2"), std::string::npos);
+  // Aligned: every row's value starts at the same column.
+  EXPECT_THROW(telemetry::metrics_table("{\"schema\":\"other\"}"), Error);
+}
+
+// ---- argparse --------------------------------------------------------------
+
+TEST(LiveArgParse, OptionalValueFlagForms) {
+  std::string value = "state";
+  bool present = false;
+  ArgParser p;
+  p.option_optional("live", &value, &present, "live mode");
+
+  const char* bare[] = {"prog", "--live"};
+  ASSERT_TRUE(p.parse(2, bare));
+  EXPECT_TRUE(present);
+  EXPECT_EQ(value, "state");  // bare form keeps the default
+
+  present = false;
+  const char* with_value[] = {"prog", "--live=metrics"};
+  ASSERT_TRUE(p.parse(2, with_value));
+  EXPECT_TRUE(present);
+  EXPECT_EQ(value, "metrics");
+
+  const char* empty[] = {"prog", "--live="};
+  EXPECT_FALSE(p.parse(2, empty));
+}
+
+TEST(LiveArgParse, ModeNamesParse) {
+  live::LiveMode m = live::LiveMode::off;
+  EXPECT_TRUE(live::parse_live_mode("state", &m));
+  EXPECT_EQ(m, live::LiveMode::state);
+  EXPECT_TRUE(live::parse_live_mode("metrics", &m));
+  EXPECT_EQ(m, live::LiveMode::metrics);
+  EXPECT_FALSE(live::parse_live_mode("bogus", &m));
+  EXPECT_EQ(m, live::LiveMode::metrics);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace hlsprof

@@ -3,7 +3,8 @@
 //   hlsprof-run sweep.manifest [--workers=N] [--out=PREFIX] [--seed=S]
 //                              [--cache-dir=DIR] [--cache-max-bytes=N]
 //                              [--canonical] [--json] [--quiet] [--progress]
-//                              [--shards=N] [--shard-strategy=S]
+//                              [--live[=state|metrics]] [--live-lines]
+//                              [--no-color] [--shards=N] [--shard-strategy=S]
 //                              [--straggler-factor=F] [--connect=SOCKETS]
 //                              [--telemetry-out=FILE] [--chrome-trace=FILE]
 //                              [--version] [--help]
@@ -24,6 +25,18 @@
 //   --quiet              suppress the summary table
 //   --progress           print one line per finished job as it completes
 //                        (machine-parsable; the shard coordinator's feed)
+//   --live[=MODE]        live display on stderr while the batch runs:
+//                        `state` (default) draws the in-place ASCII thread
+//                        timeline of the running job, `metrics` a one-line
+//                        totals ticker. Auto-disabled when stderr is not a
+//                        TTY. In shard mode shows the per-shard fleet view.
+//                        Canonical report and trace bytes are identical
+//                        with it on or off. See docs/LIVE.md.
+//   --live-lines         print one machine-parsable `##hlsprof-live`
+//                        totals line per finished job (the fleet view's
+//                        feed; works without a TTY)
+//   --no-color           disable ANSI colors in the live display
+//                        (NO_COLOR in the environment does the same)
 //   --shards=N           split the manifest's jobs across N hlsprof-run
 //                        child processes and merge their reports; the
 //                        merged canonical output is byte-identical to a
@@ -50,14 +63,19 @@
 // out, 2 on usage/manifest errors (including unknown or malformed flags),
 // 4 when --connect cannot reach a daemon at all (missing socket file or
 // connection refused — the message names the socket path).
+#include <unistd.h>
+
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/argparse.hpp"
 #include "common/build_info.hpp"
 #include "common/strings.hpp"
+#include "live/reporter.hpp"
+#include "paraver/ascii.hpp"
 #include "runner/runner.hpp"
 #include "runner/shard.hpp"
 #include "serve/client.hpp"
@@ -89,10 +107,14 @@ int main(int argc, char** argv) {
   long long seed_override = -1;
   long long cache_max_bytes = -1;
   long long shards = 1;
+  std::string live_value = "state";
   bool canonical = false;
   bool print_json = false;
   bool quiet = false;
   bool progress = false;
+  bool live_flag = false;
+  bool live_lines = false;
+  bool no_color = false;
   bool version = false;
   bool help = false;
 
@@ -115,6 +137,13 @@ int main(int argc, char** argv) {
       .flag("quiet", &quiet, "suppress the summary table")
       .flag("progress", &progress,
             "print one machine-parsable line per finished job")
+      .option_optional("live", &live_value, &live_flag,
+                       "live stderr display: state (timeline, default) or "
+                       "metrics (ticker); auto-off when stderr is no TTY")
+      .flag("live-lines", &live_lines,
+            "print one machine-parsable ##hlsprof-live totals line per "
+            "finished job")
+      .flag("no-color", &no_color, "disable ANSI colors in the live display")
       .option_int("shards", &shards,
                   "split jobs across N child processes and merge the "
                   "reports (implies --canonical)")
@@ -154,6 +183,18 @@ int main(int argc, char** argv) {
   }
   const std::string manifest_path = parser.positionals().front();
 
+  live::LiveMode live_mode = live::LiveMode::off;
+  if (live_flag && !live::parse_live_mode(live_value, &live_mode)) {
+    std::fprintf(stderr, "hlsprof-run: --live must be 'state' or 'metrics'\n");
+    return usage(parser, stderr);
+  }
+  // The human display needs a terminal; the machine channel does not.
+  const bool live_tty = ::isatty(::fileno(stderr)) != 0;
+  const bool live_display = live_mode != live::LiveMode::off && live_tty &&
+                            !quiet;
+  const bool live_color =
+      !no_color && paraver::color_enabled_for(stderr);
+
   auto& telemetry_reg = telemetry::Registry::global();
   const bool telemetry_on = !telemetry_out.empty() || !chrome_trace.empty();
   if (telemetry_on) telemetry_reg.enable(true);
@@ -163,6 +204,7 @@ int main(int argc, char** argv) {
   runner::BatchResult result;
   runner::ReportOptions ropts;
   std::string out_prefix;
+  bool coordinator_wrote_chrome = false;
 
   if (shard_mode) {
     runner::ShardOptions sopts;
@@ -223,6 +265,48 @@ int main(int argc, char** argv) {
                    "reports are deterministic by construction)\n");
     }
 
+    // Process-mode fleets get ONE merged Perfetto file (coordinator +
+    // every shard child, tracks namespaced per shard); daemon telemetry
+    // belongs to the daemon, so daemon mode keeps the classic
+    // coordinator-only trace written below.
+    const bool merged_chrome = !chrome_trace.empty() && sopts.connect.empty();
+    if (merged_chrome) sopts.chrome_trace_out = chrome_trace;
+
+    // Fleet live view: children emit ##hlsprof-live totals lines on their
+    // progress pipes; the coordinator aggregates them per shard.
+    std::unique_ptr<live::FleetView> fleet;
+    std::mutex fleet_line_mu;
+    if ((live_mode != live::LiveMode::off || live_lines) &&
+        sopts.connect.empty()) {
+      sopts.child_live_lines = true;
+      live::FleetOptions fopts;
+      if (live_display) {
+        fopts.display = stderr;
+        fopts.in_place = true;
+      }
+      fleet = std::make_unique<live::FleetView>(sopts.shards, fopts);
+      live::FleetView* fleet_ptr = fleet.get();
+      const bool emit_fleet_lines = live_lines;
+      sopts.on_child_line = [fleet_ptr, emit_fleet_lines, &fleet_line_mu](
+                                int shard, const std::string& line) {
+        live::LiveLine l;
+        if (!live::parse_live_line(line, &l)) return;
+        fleet_ptr->update(shard, l);
+        if (emit_fleet_lines) {
+          const std::string out =
+              live::format_live_line(fleet_ptr->merged()) + "\n";
+          std::lock_guard<std::mutex> lock(fleet_line_mu);
+          std::fwrite(out.data(), 1, out.size(), stdout);
+          std::fflush(stdout);
+        }
+      };
+      if (live_display) {
+        // The in-place fleet frame replaces per-job chatter; dropping the
+        // progress batches keeps the frame intact.
+        sopts.emit_progress = [](const std::string&) {};
+      }
+    }
+
     runner::ShardResult sharded;
     try {
       sharded = runner::run_sharded(manifest_path, sopts);
@@ -233,6 +317,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
       return 2;
     }
+    if (fleet) fleet->finish();
+    coordinator_wrote_chrome = merged_chrome;
     if (!quiet) {
       std::fprintf(stderr,
                    "hlsprof-run: %d shards (%d re-dispatched, %d duplicate "
@@ -271,6 +357,25 @@ int main(int argc, char** argv) {
       };
     }
 
+    // Live observer: a pure tee off the decoded record stream — the
+    // canonical report and trace bytes are identical with it on or off.
+    std::unique_ptr<live::BatchLiveReporter> reporter;
+    if (live_mode != live::LiveMode::off || live_lines) {
+      live::ReporterOptions lopts;
+      lopts.mode = live_mode;
+      if (live_display) {
+        lopts.display = stderr;
+        lopts.color = live_color;
+      }
+      if (live_lines) lopts.line_out = stdout;
+      // Under `select` (a shard child) only the selected slice runs.
+      lopts.jobs_total = run.options.select.empty()
+                             ? run.batch.size()
+                             : run.options.select.size();
+      reporter = std::make_unique<live::BatchLiveReporter>(lopts);
+      run.options.observer = reporter.get();
+    }
+
     try {
       result = run.batch.run(run.options);
     } catch (const std::exception& e) {
@@ -280,6 +385,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "hlsprof-run: %s\n", e.what());
       return 2;
     }
+    if (reporter) reporter->finish();
     ropts.canonical = canonical;
     ropts.label = run.label;
     out_prefix = run.out_prefix;
@@ -321,11 +427,20 @@ int main(int argc, char** argv) {
                       telemetry_out.c_str());
       }
       if (!chrome_trace.empty()) {
-        telemetry::write_text_file(chrome_trace,
-                                   telemetry::chrome_trace_json(snap) + "\n");
-        if (!quiet)
-          std::printf("chrome trace written to %s (open in Perfetto)\n",
-                      chrome_trace.c_str());
+        if (coordinator_wrote_chrome) {
+          // The shard coordinator already merged every child trace plus
+          // its own into the one fleet file at this path.
+          if (!quiet)
+            std::printf("merged fleet chrome trace written to %s "
+                        "(open in Perfetto)\n",
+                        chrome_trace.c_str());
+        } else {
+          telemetry::write_text_file(
+              chrome_trace, telemetry::chrome_trace_json(snap) + "\n");
+          if (!quiet)
+            std::printf("chrome trace written to %s (open in Perfetto)\n",
+                        chrome_trace.c_str());
+        }
       }
       // Non-canonical sidecar next to the batch report, so archived runs
       // keep their host metrics without touching the canonical bytes.

@@ -17,14 +17,19 @@
 //
 // Client (any of --submit/--metrics/--ping/--shutdown selects it):
 //   hlsprof-serve --socket=PATH --submit=MANIFEST [--client=NAME]
-//                 [--priority=N] [--report-out=FILE] [--quiet]
-//   hlsprof-serve --socket=PATH --metrics
+//                 [--priority=N] [--report-out=FILE] [--watch] [--quiet]
+//   hlsprof-serve --socket=PATH --metrics [--json]
 //   hlsprof-serve --socket=PATH --ping
 //   hlsprof-serve --socket=PATH --shutdown
 //
 //   --submit sends the manifest text and prints (or writes, with
 //   --report-out) the returned canonical report — byte-identical to
 //   `hlsprof-run MANIFEST --canonical --json` for the same manifest.
+//   With --watch the daemon streams one progress event per finished job
+//   and the client prints "[done/jobs] name status" lines to stderr as
+//   they arrive; the report bytes on stdout are unchanged.
+//   --metrics prints a human-readable aligned table; --json switches to
+//   the raw "hlsprof-telemetry" snapshot JSON.
 //
 // Exit status: 0 ok; 1 job failures or a connection dropped mid-request;
 // 2 usage errors; 3 the daemon rejected the request (queue_full /
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
   long long cache_max_bytes = 0;
   long long priority = 0;
   bool metrics = false;
+  bool metrics_json = false;
+  bool watch = false;
   bool ping = false;
   bool shutdown = false;
   bool quiet = false;
@@ -145,7 +152,13 @@ int main(int argc, char** argv) {
                   "client mode: submission priority (higher runs first)")
       .option("report-out", &report_out,
               "client mode: write the returned report here instead of stdout")
+      .flag("watch", &watch,
+            "client mode: stream per-job progress lines to stderr while "
+            "the submission runs")
       .flag("metrics", &metrics, "client mode: fetch the telemetry snapshot")
+      .flag("json", &metrics_json,
+            "client mode: print --metrics as raw snapshot JSON instead of "
+            "the aligned table")
       .flag("ping", &ping, "client mode: health-check the daemon")
       .flag("shutdown", &shutdown, "client mode: ask the daemon to drain")
       .flag("quiet", &quiet, "suppress progress chatter")
@@ -202,8 +215,12 @@ int main(int argc, char** argv) {
                      r.message.c_str());
         return 3;
       }
-      std::fputs(r.metrics.c_str(), stdout);
-      std::fputc('\n', stdout);
+      if (metrics_json) {
+        std::fputs(r.metrics.c_str(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        std::fputs(telemetry::metrics_table(r.metrics).c_str(), stdout);
+      }
       return 0;
     }
     if (shutdown) {
@@ -222,8 +239,19 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << f.rdbuf();
-    const serve::Response r =
-        client.submit(ss.str(), client_name, int(priority));
+    serve::Response r;
+    if (watch) {
+      r = client.submit_watch(
+          ss.str(),
+          [quiet](const serve::Response& ev) {
+            if (quiet) return;
+            std::fprintf(stderr, "[%d/%d] %s %s\n", ev.done, ev.jobs,
+                         ev.name.c_str(), ev.status.c_str());
+          },
+          client_name, int(priority));
+    } else {
+      r = client.submit(ss.str(), client_name, int(priority));
+    }
     if (!r.ok) {
       std::fprintf(stderr, "hlsprof-serve: rejected (%s): %s\n",
                    r.error.c_str(), r.message.c_str());
