@@ -43,7 +43,10 @@ struct RunOptions {
   /// Simulation runs on the fast path (direct dispatch + batched memory
   /// streams) by default; set `sim.reference_event_loop` to use the
   /// original event loop — cycle-exact with the fast path and kept as
-  /// the verification oracle (DESIGN.md §6e, docs/PERF.md).
+  /// the verification oracle (DESIGN.md §6e, docs/PERF.md). Set
+  /// `sim.fast_forward` for the opt-in approximate tier that jumps over
+  /// steady-state memory-bound loop phases (DESIGN.md §6j) — outputs
+  /// are then not meaningful, so pair it with disabled verification.
   sim::SimParams sim;
   profiling::ProfilingConfig profiling;
   bool enable_profiling = true;

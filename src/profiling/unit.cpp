@@ -95,13 +95,19 @@ void ProfilingUnit::on_stall(thread_id_t tid, cycle_t t, cycle_t cycles) {
 void ProfilingUnit::on_compute(thread_id_t tid, long long int_ops,
                                long long fp_ops, cycle_t t0, cycle_t t1) {
   if (!cfg_.enable_compute_events) return;
-  note_time(t1);
+  // Spans may cover many windows (fast-forwarded phases are unbounded
+  // aggregates, unlike the bounded-lag skew note_time tolerates), and
+  // several span hooks can target the same [t0, t1) back to back — so
+  // only raise the high-water mark, never finalize: windows emitted
+  // mid-sequence would silently drop the later spans' share. The next
+  // point event (or on_finish) advances the window clock.
   if (int_ops > 0) {
     bins_[std::size_t(1 * T_ + int(tid))].add_range(t0, t1, double(int_ops));
   }
   if (fp_ops > 0) {
     bins_[std::size_t(2 * T_ + int(tid))].add_range(t0, t1, double(fp_ops));
   }
+  high_water_ = std::max(high_water_, t1);
 }
 
 void ProfilingUnit::on_mem(thread_id_t tid, cycle_t t, std::uint32_t bytes,
@@ -109,6 +115,30 @@ void ProfilingUnit::on_mem(thread_id_t tid, cycle_t t, std::uint32_t bytes,
   if (!cfg_.enable_memory_events) return;
   note_time(t);
   bins_[std::size_t((is_write ? 4 : 3) * T_ + int(tid))].add(t, double(bytes));
+}
+
+void ProfilingUnit::on_mem_span(thread_id_t tid, cycle_t t0, cycle_t t1,
+                                std::uint64_t bytes_read,
+                                std::uint64_t bytes_written) {
+  if (!cfg_.enable_memory_events) return;
+  // Deposit without finalizing windows (see on_compute).
+  if (bytes_read > 0) {
+    bins_[std::size_t(3 * T_ + int(tid))].add_range(t0, t1,
+                                                    double(bytes_read));
+  }
+  if (bytes_written > 0) {
+    bins_[std::size_t(4 * T_ + int(tid))].add_range(t0, t1,
+                                                    double(bytes_written));
+  }
+  high_water_ = std::max(high_water_, t1);
+}
+
+void ProfilingUnit::on_stall_span(thread_id_t tid, cycle_t t0, cycle_t t1,
+                                  cycle_t cycles) {
+  if (!cfg_.enable_stall_events) return;
+  // Deposit without finalizing windows (see on_compute).
+  bins_[std::size_t(0 * T_ + int(tid))].add_range(t0, t1, double(cycles));
+  high_water_ = std::max(high_water_, t1);
 }
 
 void ProfilingUnit::finalize_windows_up_to(cycle_t limit) {

@@ -33,6 +33,14 @@ class ProfilingUnit final : public sim::SimHooks {
                   cycle_t t0, cycle_t t1) override;
   void on_mem(thread_id_t tid, cycle_t t, std::uint32_t bytes,
               bool is_write) override;
+  // Aggregate spans synthesized by the fast-forward tier (approx mode):
+  // spread uniformly over [t0, t1) so sampled bandwidth/stall windows show
+  // the same plateau the executed requests would have produced.
+  void on_mem_span(thread_id_t tid, cycle_t t0, cycle_t t1,
+                   std::uint64_t bytes_read,
+                   std::uint64_t bytes_written) override;
+  void on_stall_span(thread_id_t tid, cycle_t t0, cycle_t t1,
+                     cycle_t cycles) override;
   void on_finish(cycle_t t) override;
 
   // ---- Streaming consumption ---------------------------------------------

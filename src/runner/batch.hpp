@@ -94,6 +94,9 @@ class Batch {
 
   std::size_t size() const { return jobs_.size(); }
   const JobSpec& spec(int index) const { return jobs_.at(std::size_t(index)); }
+  /// Mutable access for post-parse overrides (e.g. the CLI's
+  /// --approx-trace rewriting manifest-built jobs before run()).
+  JobSpec& spec_mut(int index) { return jobs_.at(std::size_t(index)); }
 
   /// Execute every job. Job failures (exceptions anywhere in the factory /
   /// compile / run / check chain) are captured into the corresponding

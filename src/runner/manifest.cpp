@@ -37,7 +37,7 @@ const std::vector<std::string> kSweepKeys = {
 const std::vector<std::string> kScalarKeys = {
     "workload", "profiling", "thread_start_interval", "max_cycles",
     "workers",  "seed",      "verify",                "out",
-    "label",    "cache_dir", "cache_max_bytes"};
+    "label",    "cache_dir", "cache_max_bytes",       "approx_trace"};
 
 // List-valued control keys: known and comma-separated like sweep keys,
 // but they steer execution instead of adding a sweep axis. `select`
@@ -55,7 +55,8 @@ const std::vector<std::string> kIntKeys = {
     "thread_start_interval", "max_cycles", "cache_max_bytes"};
 
 const std::vector<std::string> kOnOffKeys = {"profiling", "verify",
-                                             "thread_reordering"};
+                                             "thread_reordering",
+                                             "approx_trace"};
 
 bool contains(const std::vector<std::string>& list, const std::string& k) {
   for (const auto& s : list) {
@@ -365,7 +366,12 @@ ManifestRun parse_manifest(const std::string& text) {
 
   const bool profiling =
       parse_on_off("profiling", scalar(keys, "profiling", "on"));
-  const bool verify = parse_on_off("verify", scalar(keys, "verify", "on"));
+  const bool approx =
+      parse_on_off("approx_trace", scalar(keys, "approx_trace", "off"));
+  // Approx mode skips steady-state iterations, so output buffers are not
+  // meaningful — functional verification is force-disabled.
+  const bool verify =
+      parse_on_off("verify", scalar(keys, "verify", "on")) && !approx;
   const std::int64_t start_interval =
       parse_int("thread_start_interval",
                 scalar(keys, "thread_start_interval", "-1"));
@@ -416,6 +422,7 @@ ManifestRun parse_manifest(const std::string& text) {
       spec = make_simple_job(workload, c, name, verify);
     }
     spec.run.enable_profiling = profiling;
+    spec.run.sim.fast_forward = approx;
     if (c.count("sampling_period")) {
       spec.run.profiling.sampling_period =
           cycle_t(parse_int("sampling_period", c.at("sampling_period")));
@@ -461,7 +468,25 @@ ManifestRun load_manifest(const std::string& path) {
   if (!f.good()) fail("cannot open manifest: " + path);
   std::ostringstream ss;
   ss << f.rdbuf();
-  return parse_manifest(ss.str());
+  ManifestRun run = parse_manifest(ss.str());
+  // A relative `out` is relative to the manifest, not to wherever the
+  // process happens to run: resolve it so the report and its telemetry
+  // sidecar land next to the manifest file.
+  if (!run.out_prefix.empty() && run.out_prefix[0] != '/') {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+      run.out_prefix = path.substr(0, slash + 1) + run.out_prefix;
+    }
+  }
+  return run;
+}
+
+void apply_approx_trace(ManifestRun& run) {
+  for (int i = 0; i < int(run.batch.size()); ++i) {
+    JobSpec& spec = run.batch.spec_mut(i);
+    spec.run.sim.fast_forward = true;
+    spec.check = nullptr;  // outputs are not meaningful in approx mode
+  }
 }
 
 }  // namespace hlsprof::runner

@@ -45,7 +45,16 @@ struct ManifestRun {
 /// values, or unsupported workloads — with the offending line quoted.
 ManifestRun parse_manifest(const std::string& text);
 
-/// Read and parse a manifest file.
+/// Read and parse a manifest file. A relative `out` prefix is resolved
+/// against the manifest file's directory, so report and telemetry
+/// sidecars land next to the manifest instead of the process CWD.
 ManifestRun load_manifest(const std::string& path);
+
+/// Switch an already-parsed run to approximate fast-forward mode, exactly
+/// as `approx_trace = on` in the manifest would have: every job gets
+/// SimParams::fast_forward and loses its functional check (skipped
+/// iterations do not execute, so outputs are not meaningful). Backs the
+/// CLI --approx-trace override.
+void apply_approx_trace(ManifestRun& run);
 
 }  // namespace hlsprof::runner

@@ -119,7 +119,7 @@ std::vector<std::vector<int>> split_indices(const std::vector<int>& universe,
 
 std::string make_sub_manifest(const std::string& manifest_text,
                               const std::vector<int>& indices,
-                              long long seed_override) {
+                              long long seed_override, bool approx_trace) {
   HLSPROF_CHECK(!indices.empty(), "shard: empty index list");
   std::string out;
   std::istringstream in(manifest_text);
@@ -128,6 +128,7 @@ std::string make_sub_manifest(const std::string& manifest_text,
     const std::string key = line_key(line);
     if (key == "select" || key == "out") continue;
     if (key == "seed" && seed_override >= 0) continue;
+    if (key == "approx_trace" && approx_trace) continue;
     out += line;
     out += '\n';
   }
@@ -140,6 +141,7 @@ std::string make_sub_manifest(const std::string& manifest_text,
   if (seed_override >= 0) {
     out += "seed = " + std::to_string(seed_override) + "\n";
   }
+  if (approx_trace) out += "approx_trace = on\n";
   return out;
 }
 
@@ -546,7 +548,8 @@ void Coordinator::launch_process_shard(Shard& s) {
   {
     std::ofstream f(manifest_path, std::ios::trunc);
     HLSPROF_CHECK(f.good(), "shard: cannot write " + manifest_path);
-    f << make_sub_manifest(text_, s.indices, opt_.seed_override);
+    f << make_sub_manifest(text_, s.indices, opt_.seed_override,
+                           opt_.approx_trace);
   }
 
   std::vector<std::string> args = {
@@ -655,8 +658,8 @@ void Coordinator::launch_process_shard(Shard& s) {
 
 void Coordinator::launch_daemon_shard(Shard& s) {
   const std::string socket = opt_.connect[daemon_rr_++ % opt_.connect.size()];
-  const std::string manifest =
-      make_sub_manifest(text_, s.indices, opt_.seed_override);
+  const std::string manifest = make_sub_manifest(
+      text_, s.indices, opt_.seed_override, opt_.approx_trace);
   const int shard_id = s.id;
   s.thread = std::thread([this, shard_id, socket, manifest] {
     Event e;

@@ -96,6 +96,11 @@ struct ShardOptions {
   /// >= 0: override the manifest's batch seed (like --seed).
   long long seed_override = -1;
 
+  /// Force `approx_trace = on` in every sub-manifest (like the CLI's
+  /// --approx-trace): shards run in analytical fast-forward mode with
+  /// functional verification disabled.
+  bool approx_trace = false;
+
   /// Non-empty, process mode: each shard child writes its telemetry
   /// snapshot to `<prefix><shard-id>.json` (--telemetry-out), so fleet
   /// behaviour — e.g. zero hls.compiles across a warm shared-cache run —
@@ -173,10 +178,12 @@ std::vector<std::vector<int>> split_indices(const std::vector<int>& universe,
 /// replaces, never composes with, a previous one), drop `out` (shards
 /// must not clobber the user's report files), drop `seed` when
 /// `seed_override` >= 0, then append the shard's `select` line (and
-/// `seed`). Indices must be non-empty and ascending.
+/// `seed`, and `approx_trace = on` when `approx_trace` is set). Indices
+/// must be non-empty and ascending.
 std::string make_sub_manifest(const std::string& manifest_text,
                               const std::vector<int>& indices,
-                              long long seed_override = -1);
+                              long long seed_override = -1,
+                              bool approx_trace = false);
 
 /// Parse a canonical batch-report JSON document (report_json output)
 /// back into per-job results. Exact: seeds and design keys round-trip

@@ -49,6 +49,23 @@ class SimHooks {
   virtual void on_mem(thread_id_t tid, cycle_t t, std::uint32_t bytes,
                       bool is_write) = 0;
 
+  /// Aggregate traffic synthesized by the fast-forward tier: the bytes
+  /// `tid` would have moved across the skipped span [t0, t1), spread
+  /// uniformly — the shape a steady-state phase has by definition. Only
+  /// the approximate mode (SimParams::fast_forward) ever calls this;
+  /// implementations that do not care can keep the no-op default.
+  virtual void on_mem_span(thread_id_t tid, cycle_t t0, cycle_t t1,
+                           std::uint64_t bytes_read,
+                           std::uint64_t bytes_written) {
+    (void)tid; (void)t0; (void)t1; (void)bytes_read; (void)bytes_written;
+  }
+
+  /// Aggregate stall synthesized by the fast-forward tier over [t0, t1).
+  virtual void on_stall_span(thread_id_t tid, cycle_t t0, cycle_t t1,
+                             cycle_t cycles) {
+    (void)tid; (void)t0; (void)t1; (void)cycles;
+  }
+
   /// End of simulation at cycle `t` (lets the tracer flush its buffers).
   virtual void on_finish(cycle_t t) = 0;
 };

@@ -1,6 +1,7 @@
 #include "sim/interpreter.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -33,7 +34,8 @@ ThreadInterp::ThreadInterp(const hls::Design& design,
       tid_(tid),
       mem_(mem),
       params_(params),
-      hooks_(hooks) {
+      hooks_(hooks),
+      ff_on_(params.fast_forward) {
   HLSPROF_CHECK(args.size() == k_.args.size(),
                 "argument binding count mismatch");
   values_.resize(k_.ops.size());
@@ -160,6 +162,7 @@ bool ThreadInterp::step(Action& out) {
       if (!f.inited) {
         f.inited = true;
         f.iv_cur = scalar_i(f.loop->init);
+        f.iv_init = f.iv_cur;
         f.bound_v = scalar_i(f.loop->bound);
         f.step_v = scalar_i(f.loop->step);
         HLSPROF_CHECK(f.step_v > 0, "loop step must be positive (kernel '" +
@@ -292,11 +295,29 @@ bool ThreadInterp::run_batched_iterations(std::size_t loop_at,
   // code (eval_pure, exec_op, apply_mem, the loop-frame arithmetic from
   // step/begin_iteration_or_exit) — only the dispatch around it is gone.
   const std::size_t n = ids.size();
+  ff::LoopPhase* ph = ff_on_ ? ff_phase(frames_[loop_at], ids) : nullptr;
   for (;;) {
     // Stable references: the tight loop never grows frames_, so neither
     // the body frame nor the loop frame can move until we return.
     Frame& rf = frames_.back();
     Frame& lf = frames_[loop_at];
+    long long ff_int0 = 0;
+    long long ff_fp0 = 0;
+    if (ph != nullptr) {
+      if (rf.idx == 0 && lf.iv_cur == lf.iv_init && lf.step_v > 0) {
+        const std::int64_t trip =
+            lf.bound_v > lf.iv_init
+                ? (lf.bound_v - lf.iv_init + lf.step_v - 1) / lf.step_v
+                : 0;
+        ph->begin_instance(trip, params_.ff);
+        if (!ph->inst_active) ph = nullptr;  // decline backoff: sit out
+      }
+      if (ph != nullptr) {
+        ph->begin_iteration(lf.iv_cur, rf.idx == 0);
+        ff_int0 = acc_int_;
+        ff_fp0 = acc_fp_;
+      }
+    }
     while (rf.idx < n) {
       const ValueId id = ids[rf.idx];
       const Op& op = op_at(id);
@@ -311,8 +332,13 @@ bool ThreadInterp::run_batched_iterations(std::size_t loop_at,
           // the Action for the event loop to commit in global order.
           return exec_op(id, out);
         }
-        HLSPROF_CHECK(issue <= params_.max_cycles,
-                      "simulation exceeded max_cycles (livelock guard)");
+        HLSPROF_CHECK(
+            issue <= params_.max_cycles,
+            strf("simulation exceeded max_cycles (livelock guard): thread "
+                 "%d would issue a memory request at cycle %llu, past the "
+                 "limit of %llu",
+                 int(tid_), (unsigned long long)issue,
+                 (unsigned long long)params_.max_cycles));
         const std::int64_t index = scalar_i(op.operands[0]);
         const addr_t addr = ext_addr(op, index);
         const auto bytes = static_cast<std::uint32_t>(op.type.bytes());
@@ -324,6 +350,7 @@ bool ThreadInterp::run_batched_iterations(std::size_t loop_at,
         if (hooks_ != nullptr) {
           hooks_->on_mem(tid_, tm.accepted, bytes, is_write);
         }
+        if (ph != nullptr) ph->note_mem(addr, tm.row_hit);
         ++batched_mem_;
         apply_mem(tm);  // advances rf.idx
       } else if (oc == Opcode::preload) {
@@ -338,9 +365,14 @@ bool ThreadInterp::run_batched_iterations(std::size_t loop_at,
     // in place instead of popping and re-pushing it.
     lf.loop_end = std::max(
         lf.loop_end, lf.iter_base + lf.iter_stall + cycle_t(lf.linfo->depth));
+    const std::int64_t iv_done = lf.iv_cur;
+    const cycle_t iter_cycles = cycle_t(lf.linfo->ii) + lf.iter_stall;
     lf.iv_cur += lf.step_v;
     varp_[static_cast<std::size_t>(lf.loop->induction)].i[0] = lf.iv_cur;
     if (!(lf.iv_cur < lf.bound_v)) {
+      if (ph != nullptr && ph->finish_instance(iter_cycles, params_.ff)) {
+        ff_gate_model(lf, *ph);  // a calibration completed: model-check it
+      }
       time_ = std::max(time_, lf.loop_end);
       active_pipe_ = -1;
       flush_compute(time_);
@@ -351,6 +383,195 @@ bool ThreadInterp::run_batched_iterations(std::size_t loop_at,
     lf.iter_base += cycle_t(lf.linfo->ii) + lf.iter_stall;
     lf.iter_stall = 0;
     rf.idx = 0;
+    if (ph != nullptr &&
+        ph->end_iteration(iv_done, lf.step_v, iter_cycles,
+                          acc_int_ - ff_int0, acc_fp_ - ff_fp0,
+                          params_.ff)) {
+      if (ph->cand_needs_gate) {
+        // Fresh in-instance window calibration: model-check it first.
+        ff_gate_model(lf, *ph);
+        ph->cand_needs_gate = false;
+      }
+      if (ph->cand->model_ok) ff_try_jump(lf, *ph);
+    }
+  }
+}
+
+ff::LoopPhase* ThreadInterp::ff_phase(const Frame& lf,
+                                      const std::vector<ValueId>& ids) {
+  auto [it, inserted] = ff_phases_.try_emplace(lf.loop);
+  ff::LoopPhase& ph = it->second;
+  if (inserted) {
+    ph.eligible = lf.linfo->pipelined;
+    for (const ValueId id : ids) {
+      const Op& op = op_at(id);
+      if (op.opcode == Opcode::preload) {
+        // Burst requests have their own bus master and line-granular
+        // timing; steady-state prediction only covers plain requests.
+        ph.eligible = false;
+        break;
+      }
+      if (op.opcode == Opcode::load_ext || op.opcode == Opcode::store_ext) {
+        ff::OpTrack ot;
+        ot.bytes = static_cast<std::uint32_t>(op.type.bytes());
+        ot.is_write = op.opcode == Opcode::store_ext;
+        if (ot.is_write) {
+          ++ph.stores_per_iter;
+          ph.bytes_written_per_iter += ot.bytes;
+        } else {
+          ++ph.loads_per_iter;
+          ph.bytes_read_per_iter += ot.bytes;
+        }
+        ph.ops.push_back(ot);
+      }
+    }
+    // Pure-compute loops have nothing to predict from DramParams — they
+    // execute exactly (pi stays bit-identical in approx mode).
+    if (ph.ops.empty()) ph.eligible = false;
+    ph.line_bytes = params_.dram.line_bytes;
+    ph.row_bytes = params_.dram.row_bytes;
+    ph.num_banks = params_.dram.num_banks;
+  }
+  return ph.eligible ? &ph : nullptr;
+}
+
+void ThreadInterp::ff_gate_model(const Frame& lf, ff::LoopPhase& ph) {
+  // Gate the fresh calibration on the analytical DRAM model: a measured
+  // rate the model cannot explain from DramParams is not memory-governed
+  // (e.g. dominated by contention the geometry does not capture), so
+  // instances of this geometry keep executing exactly.
+  ff::Calibration& c = *ph.cand;
+  const long long span_reqs =
+      (ph.loads_per_iter + ph.stores_per_iter) * c.span_iters;
+  c.hit_rate = span_reqs > 0
+                   ? std::min(1.0, double(c.span_hits) / double(span_reqs))
+                   : 0.0;
+  const double span_cpi =
+      c.span_iters > 0 ? double(c.span_cycles) / double(c.span_iters) : 0.0;
+  const int mult = d_.options.thread_reordering ? 1 : int(k_.num_threads);
+  const double model =
+      ff::predict_cpi(params_.dram, ph, lf.linfo->ii,
+                      d_.options.lib.ext_assumed_min, mult, c.hit_rate);
+  c.model_residual = std::fabs(model - span_cpi) / std::max(1.0, span_cpi);
+  c.model_ok = c.model_residual <= params_.ff.model_gate;
+  if (!c.model_ok) ++ff_stats_.model_rejects;
+}
+
+void ThreadInterp::ff_try_jump(Frame& lf, ff::LoopPhase& ph) {
+  const FastForwardParams& p = params_.ff;
+  const ff::Calibration& c = *ph.cand;  // validated by end_iteration
+  const std::int64_t skip = c.span_iters;
+  const cycle_t delta = c.span_cycles;
+  const cycle_t b0 = lf.iter_base;
+  // The synthesized span must stay strictly below the batching horizon
+  // (the earliest other pending event) and the livelock guard; a jump we
+  // cannot take degrades the instance to an exact re-calibrating run.
+  cycle_t limit = params_.max_cycles;
+  if (mem_horizon_ != kNoCycle && mem_horizon_ < limit) limit = mem_horizon_;
+  if (delta < p.min_skip_cycles || b0 >= limit || delta > limit - b0) {
+    ph.jump_declined();
+    return;
+  }
+  const cycle_t t1 = b0 + delta;
+
+  // -- apply the jump ----------------------------------------------------
+  // Below the horizon this thread provably runs solo, so the whole jump
+  // is local: the loop frame, this thread's counters, and the shared
+  // memory model's pipeline position. No other thread's state moves.
+  lf.iv_cur += lf.step_v * skip;
+  varp_[static_cast<std::size_t>(lf.loop->induction)].i[0] = lf.iv_cur;
+  lf.iter_base = t1;
+  // loop_end needs no synthetic update: the margin iterations run for
+  // real at larger bases and dominate the max at loop exit.
+
+  const cycle_t ii_span = cycle_t(skip) * cycle_t(lf.linfo->ii);
+  const cycle_t synth_stall = delta > ii_span ? delta - ii_span : 0;
+  stall_cycles_ += synth_stall;
+  ext_loads_ += ph.loads_per_iter * skip;
+  ext_stores_ += ph.stores_per_iter * skip;
+  const long long skip_int = ph.int_per_iter * skip;
+  const long long skip_fp = ph.fp_per_iter * skip;
+  total_int_ops_ += skip_int;
+  total_fp_ops_ += skip_fp;
+  // Flush real compute accumulated so far at b0, then account the
+  // skipped span as its own uniform aggregate over [b0, t1).
+  flush_compute(b0);
+  if (hooks_ != nullptr) {
+    if (skip_int > 0 || skip_fp > 0) {
+      hooks_->on_compute(tid_, skip_int, skip_fp, b0, t1);
+    }
+    hooks_->on_mem_span(tid_, b0, t1, ph.bytes_read_per_iter * skip,
+                        ph.bytes_written_per_iter * skip);
+    if (synth_stall > 0) hooks_->on_stall_span(tid_, b0, t1, synth_stall);
+  }
+  last_flush_ = std::max(last_flush_, t1);
+
+  // Memory model: keep the arbiter/bank pipelines in the same relative
+  // position they held before the jump, open the rows the last skipped
+  // requests would have left (stride-affine streams make them exact),
+  // and absorb the skipped requests into the counters at the calibrated
+  // hit mix.
+  mem_.ff_advance(delta);
+  const long long reqs = (ph.loads_per_iter + ph.stores_per_iter) * skip;
+  mem_.ff_absorb(ph.loads_per_iter * skip, ph.stores_per_iter * skip,
+                 (long long)(ph.bytes_read_per_iter * skip),
+                 (long long)(ph.bytes_written_per_iter * skip), c.span_hits,
+                 reqs - c.span_hits);
+  ph.after_jump(lf.iv_cur, skip);
+  ff_project_rows(ph, skip);
+
+  ++ff_stats_.phases;
+  ff_stats_.cycles_skipped += delta;
+  ff_stats_.residual_sum += c.model_residual;
+}
+
+void ThreadInterp::ff_project_rows(const ff::LoopPhase& ph,
+                                   std::int64_t skip) {
+  // The skipped span covered iterations [iter_index - skip, iter_index).
+  // For each stream the rows it visited are monotone in the iteration
+  // index, so the last touch of row r has a closed form; collect the
+  // trailing num_banks rows per stream (older rows were evicted by row
+  // interleaving) and apply them oldest-first so per bank the newest
+  // touch wins, exactly as the real access order would have.
+  const std::int64_t rb = std::int64_t(params_.dram.row_bytes);
+  const std::int64_t nb = std::max(1, params_.dram.num_banks);
+  const std::int64_t k_end = ph.iter_index - 1;
+  const std::int64_t k_start = ph.iter_index - skip;
+  struct Open {
+    std::int64_t k;   // last-touch iteration index
+    std::size_t op;   // body order breaks ties (the later op wins)
+    std::int64_t row;
+  };
+  std::vector<Open> opens;
+  opens.reserve(ph.ops.size() * std::size_t(nb));
+  for (std::size_t oi = 0; oi < ph.ops.size(); ++oi) {
+    const ff::OpTrack& ot = ph.ops[oi];
+    const std::int64_t start = std::int64_t(ot.inst_start);
+    const std::int64_t s = ot.stride;
+    const std::int64_t row_first = (start + s * k_start) / rb;
+    const std::int64_t row_last = (start + s * k_end) / rb;
+    if (s == 0 || row_first == row_last) {
+      opens.push_back({k_end, oi, row_last});
+      continue;
+    }
+    const std::int64_t dir = s > 0 ? 1 : -1;
+    std::int64_t r = row_last;
+    for (std::int64_t n = 0; n < nb; ++n) {
+      if (dir > 0 ? r < row_first : r > row_first) break;
+      std::int64_t k = k_end;
+      if (r != row_last) {
+        k = dir > 0 ? ((r + 1) * rb - 1 - start) / s
+                    : (start - r * rb) / (-s);
+      }
+      if (k >= k_start && k <= k_end) opens.push_back({k, oi, r});
+      r -= dir;
+    }
+  }
+  std::sort(opens.begin(), opens.end(), [](const Open& a, const Open& b) {
+    return a.k != b.k ? a.k < b.k : a.op < b.op;
+  });
+  for (const Open& o : opens) {
+    mem_.ff_touch_row(addr_t(o.row) * params_.dram.row_bytes);
   }
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hls/design.hpp"
+#include "sim/fastforward.hpp"
 #include "sim/hooks.hpp"
 #include "sim/memory.hpp"
 #include "sim/params.hpp"
@@ -88,6 +89,8 @@ class ThreadInterp {
   void set_mem_horizon(cycle_t horizon) { mem_horizon_ = horizon; }
   /// External-memory requests committed inline by the batching fast path.
   long long batched_mem() const { return batched_mem_; }
+  /// Fast-forward statistics (all zero unless SimParams::fast_forward).
+  const ff::FfStats& ff_stats() const { return ff_stats_; }
 
   cycle_t time() const { return time_; }
   bool finished() const { return finished_; }
@@ -115,6 +118,7 @@ class ThreadInterp {
     bool in_iteration = false;
     bool first_iter = true;
     std::int64_t iv_cur = 0;
+    std::int64_t iv_init = 0;  // initial induction value (instance start)
     std::int64_t bound_v = 0;
     std::int64_t step_v = 0;
     cycle_t iter_base = 0;
@@ -168,6 +172,23 @@ class ThreadInterp {
   /// Memoized straight-line decode of a loop body: the body's ops in
   /// order, or nullptr if the region contains non-op statements.
   const std::vector<ir::ValueId>* simple_body(const ir::Region& r);
+  /// Fast-forward phase tracker for `lf`'s loop (approx mode only):
+  /// memoized eligibility + census; nullptr when the loop cannot
+  /// fast-forward (no external ops, preloads in the body, or the
+  /// analytical model rejected it).
+  ff::LoopPhase* ff_phase(const Frame& lf, const std::vector<ir::ValueId>& ids);
+  /// The phase just confirmed steady state: jump over the remaining
+  /// iterations (minus the margin), synthesizing the aggregate effects
+  /// of the skipped span. Called at a clean iteration boundary —
+  /// lf.iter_base is the start of the next, not-yet-executed iteration.
+  void ff_try_jump(Frame& lf, ff::LoopPhase& ph);
+  void ff_gate_model(const Frame& lf, ff::LoopPhase& ph);
+  /// Re-open the DRAM rows the skipped span would have left open. Row
+  /// interleaving means a multi-row walk leaves its last `num_banks`
+  /// rows open in distinct banks, and overlapping streams overwrite each
+  /// other in access order — so project per stream the last-touch
+  /// iteration of each trailing row and replay the opens oldest-first.
+  void ff_project_rows(const ff::LoopPhase& ph, std::int64_t skip);
 
   // -- evaluation helpers --
   // `vals_` caches values_.data(): the per-op operand loads in eval_pure
@@ -218,6 +239,11 @@ class ThreadInterp {
   /// Memoized straight-line decode per loop-body region (see simple_body).
   std::unordered_map<const ir::Region*, std::vector<ir::ValueId>>
       simple_body_;
+  /// Fast-forward detection state per pipelined loop (approx mode only;
+  /// empty otherwise). Profiles persist across loop instances.
+  std::unordered_map<const ir::LoopStmt*, ff::LoopPhase> ff_phases_;
+  ff::FfStats ff_stats_;
+  bool ff_on_ = false;  // params.fast_forward, hoisted for the hot loop
 
   cycle_t time_ = 0;
   bool started_ = false;

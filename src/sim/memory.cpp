@@ -73,6 +73,35 @@ MemTiming ExternalMemory::burst(cycle_t t, addr_t addr, std::uint32_t bytes) {
   return tm;
 }
 
+void ExternalMemory::ff_advance(cycle_t delta) {
+  bus_free_at_ += delta;
+  for (Bank& b : banks_) b.free_at += delta;
+}
+
+void ExternalMemory::ff_touch_row(addr_t addr) {
+  std::int64_t row;
+  std::size_t bank_idx;
+  if (pow2_geometry_) {
+    row = std::int64_t(addr >> row_shift_);
+    bank_idx = std::size_t(std::uint64_t(row) & bank_mask_);
+  } else {
+    row = std::int64_t(addr / p_.row_bytes);
+    bank_idx = static_cast<std::size_t>(row % std::int64_t(p_.num_banks));
+  }
+  banks_[bank_idx].open_row = row;
+}
+
+void ExternalMemory::ff_absorb(long long reads, long long writes,
+                               long long bytes_read, long long bytes_written,
+                               long long row_hits, long long row_misses) {
+  reads_ += reads;
+  writes_ += writes;
+  bytes_read_ += bytes_read;
+  bytes_written_ += bytes_written;
+  row_hits_ += row_hits;
+  row_misses_ += row_misses;
+}
+
 MemTiming ExternalMemory::access(cycle_t t, addr_t addr, std::uint32_t bytes,
                                  bool is_write) {
   // Avalon arbiter: one acceptance per bus_accept_interval.

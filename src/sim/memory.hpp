@@ -69,6 +69,23 @@ class ExternalMemory {
   /// execution modes so burst timing stays identical by construction.
   MemTiming burst(cycle_t t, addr_t addr, std::uint32_t bytes);
 
+  // ---- Fast-forward support ----------------------------------------------
+  // Used only by the approximate mode (SimParams::fast_forward): when a
+  // thread's clock jumps over `delta` cycles of steady-state traffic, the
+  // arbiter and bank pipelines must land in the same relative position
+  // they held before the jump, or the first post-jump requests would see
+  // an idle DRAM and systematically under-stall.
+
+  /// Shift the arbiter and every bank's busy-until point by `delta`.
+  void ff_advance(cycle_t delta);
+  /// Mark `addr`'s row open in its bank, as the last request of a skipped
+  /// steady stream would have left it.
+  void ff_touch_row(addr_t addr);
+  /// Account the requests a skipped span would have issued.
+  void ff_absorb(long long reads, long long writes, long long bytes_read,
+                 long long bytes_written, long long row_hits,
+                 long long row_misses);
+
   // ---- Statistics ---------------------------------------------------------------
   long long reads() const { return reads_; }
   long long writes() const { return writes_; }

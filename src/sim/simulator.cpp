@@ -270,8 +270,12 @@ void Simulator::run_reference(SimHooks* hooks) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     const Event ev = heap_.back();
     heap_.pop_back();
-    HLSPROF_CHECK(ev.time <= params_.max_cycles,
-                  "simulation exceeded max_cycles (livelock guard)");
+    HLSPROF_CHECK(
+        ev.time <= params_.max_cycles,
+        strf("simulation exceeded max_cycles (livelock guard): thread %d's "
+             "next event is at cycle %llu, past the limit of %llu",
+             int(ev.tid), (unsigned long long)ev.time,
+             (unsigned long long)params_.max_cycles));
     const thread_id_t tid = ev.tid;
 
     if (!started_[tid]) {
@@ -294,8 +298,12 @@ void Simulator::run_fast(SimHooks* hooks) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     const Event ev = heap_.back();
     heap_.pop_back();
-    HLSPROF_CHECK(ev.time <= params_.max_cycles,
-                  "simulation exceeded max_cycles (livelock guard)");
+    HLSPROF_CHECK(
+        ev.time <= params_.max_cycles,
+        strf("simulation exceeded max_cycles (livelock guard): thread %d's "
+             "next event is at cycle %llu, past the limit of %llu",
+             int(ev.tid), (unsigned long long)ev.time,
+             (unsigned long long)params_.max_cycles));
     const thread_id_t tid = ev.tid;
 
     Commit c;
@@ -320,8 +328,12 @@ void Simulator::run_fast(SimHooks* hooks) {
         push_event(next_t, tid);
         break;
       }
-      HLSPROF_CHECK(next_t <= params_.max_cycles,
-                    "simulation exceeded max_cycles (livelock guard)");
+      HLSPROF_CHECK(
+          next_t <= params_.max_cycles,
+          strf("simulation exceeded max_cycles (livelock guard): thread "
+               "%d's next action is at cycle %llu, past the limit of %llu",
+               int(tid), (unsigned long long)next_t,
+               (unsigned long long)params_.max_cycles));
       ++fast_stats_.direct_dispatch;
       const Action a = pending_[tid];
       has_pending_[tid] = 0;
@@ -372,13 +384,23 @@ SimResult Simulator::run(SimHooks* hooks) {
     push_event(start_at, thread_id_t(t));
   }
 
+  ff_stats_ = FastForwardStats{};
   if (params_.reference_event_loop) {
     run_reference(hooks);
   } else {
     run_fast(hooks);
+    double residual_sum = 0.0;
     for (const ThreadInterp& ti : interps_) {
       fast_stats_.batched_mem +=
           static_cast<std::uint64_t>(ti.batched_mem());
+      const ff::FfStats& fs = ti.ff_stats();
+      ff_stats_.phases += fs.phases;
+      ff_stats_.cycles_skipped += fs.cycles_skipped;
+      ff_stats_.model_rejects += fs.model_rejects;
+      residual_sum += fs.residual_sum;
+    }
+    if (ff_stats_.phases > 0) {
+      ff_stats_.model_residual = residual_sum / double(ff_stats_.phases);
     }
   }
 
@@ -415,6 +437,15 @@ SimResult Simulator::run(SimHooks* hooks) {
         .add(static_cast<long long>(fast_stats_.direct_dispatch));
     reg.counter("sim.batched_mem")
         .add(static_cast<long long>(fast_stats_.batched_mem));
+    if (params_.fast_forward) {
+      reg.counter("sim.ff_phases")
+          .add(static_cast<long long>(ff_stats_.phases));
+      reg.counter("sim.ff_cycles_skipped", "cycles")
+          .add(static_cast<long long>(ff_stats_.cycles_skipped));
+      if (ff_stats_.phases > 0) {
+        reg.gauge("sim.ff_model_residual").set(ff_stats_.model_residual);
+      }
+    }
     if (host_us > 0) {
       reg.gauge("sim.cycles_per_sec", "cycles/s")
           .set(double(result.total_cycles) / (double(host_us) / 1e6));

@@ -109,6 +109,17 @@ class Simulator {
   };
   FastPathStats fast_path_stats() const { return fast_stats_; }
 
+  /// Fast-forward activity of the previous run() (all zero unless
+  /// SimParams::fast_forward caused at least one jump). Like
+  /// FastPathStats, intentionally not part of SimResult.
+  struct FastForwardStats {
+    std::uint64_t phases = 0;          // jumps applied across all threads
+    std::uint64_t cycles_skipped = 0;  // simulated cycles not executed
+    double model_residual = 0.0;       // mean |predicted-measured|/measured
+    std::uint64_t model_rejects = 0;   // steady phases the model vetoed
+  };
+  FastForwardStats fast_forward_stats() const { return ff_stats_; }
+
   const hls::Design& design() const { return d_; }
   const SimParams& params() const { return params_; }
 
@@ -175,6 +186,7 @@ class Simulator {
   int finished_count_ = 0;
   std::vector<ThreadStats> stats_;
   FastPathStats fast_stats_;
+  FastForwardStats ff_stats_;
 };
 
 }  // namespace hlsprof::sim

@@ -2,6 +2,7 @@
 //
 //   hlsprof-run sweep.manifest [--workers=N] [--out=PREFIX] [--seed=S]
 //                              [--cache-dir=DIR] [--cache-max-bytes=N]
+//                              [--approx-trace]
 //                              [--canonical] [--json] [--quiet] [--progress]
 //                              [--live[=state|metrics]] [--live-lines]
 //                              [--no-color] [--shards=N] [--shard-strategy=S]
@@ -19,6 +20,12 @@
 //                        default off. See docs/CACHING.md.
 //   --cache-max-bytes=N  LRU size cap for --cache-dir (evicted when the
 //                        cache is opened); 0 = unbounded
+//   --approx-trace       approximate fast-forward mode (like manifest key
+//                        `approx_trace = on`): steady-state memory-bound
+//                        loop phases are jumped analytically, functional
+//                        verification is disabled, and trace records over
+//                        skipped spans are synthesized aggregates. See
+//                        docs/PERF.md for the tolerance contract.
 //   --canonical          deterministic report: omit wall-clock + per-job
 //                        cache_hit
 //   --json               print the JSON report to stdout
@@ -108,6 +115,7 @@ int main(int argc, char** argv) {
   long long cache_max_bytes = -1;
   long long shards = 1;
   std::string live_value = "state";
+  bool approx_trace = false;
   bool canonical = false;
   bool print_json = false;
   bool quiet = false;
@@ -131,6 +139,9 @@ int main(int argc, char** argv) {
       .option_int("cache-max-bytes", &cache_max_bytes,
                   "LRU size cap for --cache-dir, evicted on open "
                   "(0 = unbounded)")
+      .flag("approx-trace", &approx_trace,
+            "approximate fast-forward mode: jump steady memory-bound loop "
+            "phases analytically (disables functional verification)")
       .flag("canonical", &canonical,
             "deterministic report: omit wall-clock + per-job cache_hit")
       .flag("json", &print_json, "print the JSON report to stdout")
@@ -229,6 +240,7 @@ int main(int argc, char** argv) {
     }
     sopts.workers_per_shard = workers_override > 0 ? int(workers_override) : 0;
     sopts.seed_override = seed_override;
+    sopts.approx_trace = approx_trace;
     sopts.quiet = quiet;
     sopts.child_telemetry_prefix = shard_telemetry_prefix;
     if (!connect_text.empty()) {
@@ -341,6 +353,7 @@ int main(int argc, char** argv) {
 
     if (workers_override >= 0) run.options.workers = int(workers_override);
     if (seed_override >= 0) run.options.seed = std::uint64_t(seed_override);
+    if (approx_trace) runner::apply_approx_trace(run);
     if (!out_override.empty()) run.out_prefix = out_override;
     if (!cache_dir.empty()) run.options.cache_dir = cache_dir;
     if (cache_max_bytes >= 0) {
